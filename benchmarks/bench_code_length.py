@@ -1,0 +1,74 @@
+"""T-CODE — Sec. 2.5: code-length comparison against the coordinate method.
+
+"Former methods for equivalent generation by describing each rectangle with
+its exact coordinates needed a multiple of this source code."  We measure it:
+the PLDL sources for ContactRow + DiffPair versus our honest reimplementation
+of the coordinate-level style (reference [11]).
+"""
+
+import pytest
+
+from repro.baselines import (
+    coordinate_contact_row,
+    coordinate_diff_pair,
+    source_line_count,
+)
+from repro.baselines import coordinate_generator
+from repro.lang import Interpreter
+from repro.library import CONTACT_ROW_SOURCE, DIFF_PAIR_SOURCE
+
+
+def count_pldl_lines(source):
+    return len(
+        [
+            line
+            for line in source.splitlines()
+            if line.strip() and not line.strip().startswith("//")
+        ]
+    )
+
+
+def test_code_length_ratio(tech, record, benchmark):
+    pldl_row = count_pldl_lines(CONTACT_ROW_SOURCE)
+    pldl_pair = count_pldl_lines(DIFF_PAIR_SOURCE)
+    coord_row = source_line_count(coordinate_generator.coordinate_contact_row)
+    coord_pair = source_line_count(coordinate_generator.coordinate_diff_pair)
+
+    # Both styles must produce equivalent, DRC-clean modules.
+    interp = Interpreter(tech)
+    interp.load(DIFF_PAIR_SOURCE)
+    pldl_module = interp.call("DiffPair", W=10.0, L=1.0)
+    coord_module = benchmark(lambda: coordinate_diff_pair(tech, 10.0, 1.0))
+    from repro.drc import run_drc
+
+    assert run_drc(pldl_module, include_latchup=False) == []
+    assert run_drc(coord_module, include_latchup=False) == []
+
+    ratio_row = coord_row / pldl_row
+    ratio_pair = coord_pair / (pldl_pair - 0)
+    lines = [
+        "Sec. 2.5 — code length: PLDL vs coordinate-level generation:",
+        f"{'module':14s} {'PLDL lines':>11s} {'coordinate lines':>17s} {'ratio':>7s}",
+        f"{'ContactRow':14s} {pldl_row:11d} {coord_row:17d} {ratio_row:6.1f}x",
+        f"{'DiffPair':14s} {pldl_pair:11d} {coord_pair:17d} {ratio_pair:6.1f}x",
+        "",
+        "paper: coordinate methods 'needed a multiple of this source code'.",
+        f"measured multiple: {ratio_row:.1f}–{ratio_pair:.1f}x — the claim's",
+        "shape holds (both well above 2x).",
+    ]
+    record("t_code_length", lines)
+    assert ratio_row > 2.0
+    assert ratio_pair > 2.0
+
+
+def test_coordinate_row_equivalence(tech, record, benchmark):
+    coord = benchmark(lambda: coordinate_contact_row(tech, "poly", 1.0, 10.0))
+    from repro.library import contact_row
+
+    procedural = contact_row(tech, "poly", w=1.0, length=10.0)
+    record("t_code_equivalence", [
+        "Equivalence check — both styles generate the same contact row:",
+        f"  coordinate method contacts: {len(coord.rects_on('contact'))}",
+        f"  PLDL method contacts:       {len(procedural.rects_on('contact'))}",
+    ])
+    assert len(coord.rects_on("contact")) == len(procedural.rects_on("contact"))

@@ -1,0 +1,111 @@
+"""T-SPEED — Sec. 2.3: successive compaction vs the general edge graph.
+
+"Thus, only outer edges of the main object have to be kept in the data
+structure and no general edge graph must be created.  This speeds up the
+compaction time."  We assemble growing rows of contact columns with both
+methods and compare runtime and pair-check counts.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import GraphCompactor
+from repro.compact import Compactor
+from repro.db import LayoutObject
+from repro.geometry import Direction
+from repro.library import contact_row
+
+SIZES = (4, 8, 16, 24)
+
+
+def make_objects(tech, count):
+    objects = []
+    for index in range(count):
+        obj = contact_row(tech, "pdiff", w=8.0, net=f"n{index}", name=f"r{index}")
+        obj.translate(index * 20000, 0)
+        objects.append(obj)
+    return objects
+
+
+def successive_pack(tech, objects):
+    compactor = Compactor(variable_edges=False)
+    main = LayoutObject("row", tech)
+    for obj in objects:
+        compactor.compact(main, obj, Direction.WEST)
+    return main
+
+
+def test_speed_scaling(tech, record, benchmark):
+    rows = []
+    for count in SIZES:
+        objects = make_objects(tech, count)
+
+        start = time.perf_counter()
+        successive = successive_pack(tech, [o.copy() for o in objects])
+        t_successive = time.perf_counter() - start
+
+        graph = GraphCompactor(tech)
+        start = time.perf_counter()
+        packed = graph.compact([o.copy() for o in objects], Direction.WEST)
+        t_graph = time.perf_counter() - start
+
+        assert successive.width == packed.width  # same quality
+        rows.append(
+            (count, t_successive * 1e3, t_graph * 1e3,
+             graph.last_stats.pair_checks)
+        )
+
+    benchmark(lambda: successive_pack(tech, make_objects(tech, 8)))
+
+    lines = [
+        "Sec. 2.3 — compaction time: successive vs general edge graph:",
+        f"{'objects':>8s} {'successive (ms)':>16s} {'edge graph (ms)':>16s}"
+        f" {'graph pair checks':>18s} {'speedup':>8s}",
+    ]
+    for count, t_s, t_g, checks in rows:
+        lines.append(
+            f"{count:8d} {t_s:16.2f} {t_g:16.2f} {checks:18d} {t_g / t_s:7.1f}x"
+        )
+    first, last = rows[0], rows[-1]
+    lines += [
+        "",
+        "shape vs paper: identical packed results, but the edge-graph method",
+        "scales quadratically in pair checks "
+        f"({first[3]} → {last[3]} checks for {first[0]} → {last[0]} objects)",
+        "while the successive method stays near-linear — 'this speeds up the",
+        "compaction time' holds, increasingly so with module size.",
+    ]
+    record("t_compaction_speed", lines)
+    # Quadratic vs linear: the gap must widen with size.
+    assert rows[-1][2] / rows[-1][1] > rows[0][2] / rows[0][1]
+
+
+def test_frontier_filter_ablation(tech, record, benchmark):
+    """The 'only outer edges' pruning: result-identical, fewer pair checks."""
+    objects = make_objects(tech, 12)
+
+    def pack(use_frontier):
+        compactor = Compactor(variable_edges=False, use_frontier=use_frontier)
+        main = LayoutObject("row", tech)
+        for obj in objects:
+            compactor.compact(main, obj.copy(), Direction.WEST)
+        return main
+
+    with_frontier = benchmark(lambda: pack(True))
+    without = pack(False)
+    assert with_frontier.width == without.width
+
+    start = time.perf_counter()
+    pack(True)
+    t_on = time.perf_counter() - start
+    start = time.perf_counter()
+    pack(False)
+    t_off = time.perf_counter() - start
+    record("t_frontier_ablation", [
+        "Ablation — outer-edge (frontier) pruning:",
+        f"  with pruning:    {t_on * 1e3:8.2f} ms",
+        f"  without pruning: {t_off * 1e3:8.2f} ms",
+        f"  identical result: True",
+        "paper: 'only outer edges of the main object have to be kept'.",
+    ])

@@ -1,0 +1,92 @@
+"""F1 — Fig. 1: the latch-up examination over all 16 overlap cases.
+
+Regenerates the figure's 4×4 case table (horizontal × vertical overlap
+classes) showing the remainder piece count of each case, and benchmarks the
+subtraction kernel plus a realistic full-module latch-up check.
+"""
+
+import itertools
+
+import pytest
+
+from repro.drc import check_latchup, insert_protection_contacts
+from repro.geometry import Rect, overlap_classification, subtract
+from repro.library import mos_transistor, substrate_ring
+
+
+def case_cutter(solid, h_case, v_case):
+    x1, y1, x2, y2 = solid.as_tuple()
+    tx, ty = (x2 - x1) // 3, (y2 - y1) // 3
+    h = {
+        0: (x1 - 10, x2 + 10), 1: (x1 - 10, x1 + tx),
+        2: (x2 - tx, x2 + 10), 3: (x1 + tx, x2 - tx),
+    }[h_case]
+    v = {
+        0: (y1 - 10, y2 + 10), 1: (y1 - 10, y1 + ty),
+        2: (y2 - ty, y2 + 10), 3: (y1 + ty, y2 - ty),
+    }[v_case]
+    return Rect(h[0], v[0], h[1], v[1], "locos")
+
+
+def test_f1_sixteen_case_table(record, benchmark):
+    """The 4×4 grid of Fig. 1, with the remainder piece count per case."""
+    solid = Rect(0, 0, 90, 90, "locos")
+    table = {}
+    for h_case, v_case in itertools.product(range(4), repeat=2):
+        cutter = case_cutter(solid, h_case, v_case)
+        assert overlap_classification(solid, cutter) == (h_case, v_case)
+        pieces = subtract(solid, cutter)
+        overlap = solid.intersection(cutter)
+        assert sum(p.area for p in pieces) == solid.area - overlap.area
+        table[(h_case, v_case)] = len(pieces)
+
+    def run_all():
+        total = 0
+        for h_case, v_case in itertools.product(range(4), repeat=2):
+            total += len(subtract(solid, case_cutter(solid, h_case, v_case)))
+        return total
+
+    benchmark(run_all)
+
+    lines = [
+        "Fig. 1 — latch-up rule: all 16 overlap cases of rectangle subtraction",
+        "(rows: vertical case, columns: horizontal case; cell = remainder pieces)",
+        "case 0=covers span, 1=covers low end, 2=covers high end, 3=interior",
+        "",
+        "        h=0  h=1  h=2  h=3",
+    ]
+    for v_case in range(4):
+        row = "  ".join(f"{table[(h, v_case)]:3d}" for h in range(4))
+        lines.append(f"  v={v_case}   {row}")
+    lines.append("")
+    lines.append("paper: 'all possible 16 cases of overlapping are depicted' — "
+                 "every case classified and subtracted exactly.")
+    record("f1_latchup_cases", lines)
+
+
+def test_f1_module_latchup_flow(tech, record, benchmark):
+    """End-to-end: unprotected device fails, ring fixes, inserter fixes."""
+    def build_and_check():
+        mos = mos_transistor(tech, 10.0, 1.0)
+        before = len(check_latchup(mos))
+        substrate_ring(mos, net="sub")
+        after = len(check_latchup(mos))
+        return before, after
+
+    before, after = benchmark(build_and_check)
+    assert before > 0 and after == 0
+
+    wide = mos_transistor(tech, 10.0, 1.0, name="wide")
+    from repro.geometry import Rect as R
+
+    wide.add_rect(R(0, 0, 3 * tech.latchup_half_size("subcontact"), 4000, "pdiff"))
+    added = insert_protection_contacts(wide)
+    record("f1_latchup_flow", [
+        "Fig. 1 flow — latch-up verdicts:",
+        f"  bare transistor violations: {before}",
+        f"  after substrate ring:       {after}",
+        f"  wide active area: inserter added {len(added)} substrate contact(s)",
+        "paper: 'If not all active areas are enclosed additional substrate",
+        "contacts have to be inserted.'",
+    ])
+    assert check_latchup(wide) == []

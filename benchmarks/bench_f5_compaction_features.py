@@ -1,0 +1,65 @@
+"""F5 — Figs. 5a/5b: auto-connected edges and variable-edge optimization.
+
+5a: a metal strap compacted onto an interdigitated transistor connects the
+outer source columns automatically.  5b: with variable metal edges the
+blocking contact row is shrunk (its array recalculated) so the strap lands
+closer — a measurable area reduction.
+"""
+
+import pytest
+
+from repro.compact import Compactor
+from repro.db import net_is_connected
+from repro.drc import run_drc
+from repro.geometry import Direction
+from repro.library import DeviceNets, patterned_row, strap_net
+
+
+def build_strapped(tech, variable_edges):
+    compactor = Compactor(variable_edges=variable_edges)
+    row = patterned_row(
+        tech, 10.0, 1.0, "AA", {"A": DeviceNets("g", "d")},
+        source_net="s", gate_side="south", compactor=compactor,
+    )
+    strap_net(row, "s", Direction.SOUTH, compactor=compactor)
+    return row
+
+
+def test_f5a_auto_connection(tech, record, benchmark):
+    row = benchmark(lambda: build_strapped(tech, True))
+    assert net_is_connected(row.rects, tech, "s")
+    assert run_drc(row, include_latchup=False) == []
+    record("f5a_auto_connect", [
+        "Fig. 5a — auto-connected edges:",
+        "  a metal1 strap was compacted to the top of the transistor;",
+        "  the outer source columns were automatically connected to it",
+        f"  (net 's' electrically connected: "
+        f"{net_is_connected(row.rects, tech, 's')}).",
+        "paper: 'the outer diffusion contact rows were automatically",
+        "connected to this rectangle.'",
+    ])
+
+
+def test_f5b_variable_edges_area(tech, record, benchmark):
+    fixed = build_strapped(tech, False)
+    variable = benchmark(lambda: build_strapped(tech, True))
+    area_fixed = fixed.area() / tech.dbu_per_micron ** 2
+    area_variable = variable.area() / tech.dbu_per_micron ** 2
+    reduction = 100 * (area_fixed - area_variable) / area_fixed
+    # The middle drain row's metal shrank and its array was recalculated.
+    cuts_fixed = len([r for r in fixed.rects_on("contact") if r.net == "d"])
+    cuts_variable = len([r for r in variable.rects_on("contact") if r.net == "d"])
+    record("f5b_variable_edges", [
+        "Fig. 5b — optimization by shrinking objects (variable edges):",
+        f"  area, all edges fixed:    {area_fixed:9.1f} µm²",
+        f"  area, variable edges:     {area_variable:9.1f} µm²",
+        f"  reduction:                {reduction:9.1f} %",
+        f"  middle-row contacts:      {cuts_fixed} → {cuts_variable}"
+        "  (array recalculated)",
+        "paper: 'the metal1-rectangle of the middle contact row was shrinked",
+        "automatically ... the array of contact-rectangles was recalculated'",
+        "and 'the benefit of this strategy is a substantial reduction of the",
+        "layout area.'  Shape holds: variable edges strictly reduce area.",
+    ])
+    assert area_variable < area_fixed
+    assert cuts_variable <= cuts_fixed

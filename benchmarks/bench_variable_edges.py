@@ -1,0 +1,59 @@
+"""T-VAR — Sec. 2.3: the area benefit of variable edges across a sweep.
+
+"The concept of variable edges provides additional freedom in optimization
+... The benefit of this strategy is a substantial reduction of the layout
+area."  We sweep channel widths and finger counts, building the same module
+with fixed and with variable edges.
+"""
+
+import pytest
+
+from repro.compact import Compactor
+from repro.geometry import Direction
+from repro.library import DeviceNets, patterned_row, strap_net
+
+WIDTHS = (6.0, 10.0, 14.0)
+PATTERNS = ("AA", "AAA", "AAAA")
+
+
+def build(tech, width, pattern, variable):
+    compactor = Compactor(variable_edges=variable)
+    row = patterned_row(
+        tech, width, 1.0, pattern, {"A": DeviceNets("g", "d")},
+        source_net="s", gate_side="south", compactor=compactor,
+    )
+    strap_net(row, "s", Direction.SOUTH, compactor=compactor)
+    return row.area() / tech.dbu_per_micron ** 2
+
+
+def test_variable_edge_sweep(tech, record, benchmark):
+    rows = []
+    for width in WIDTHS:
+        for pattern in PATTERNS:
+            fixed = build(tech, width, pattern, False)
+            variable = build(tech, width, pattern, True)
+            rows.append((width, len(pattern), fixed, variable))
+
+    benchmark(lambda: build(tech, 10.0, "AAA", True))
+
+    lines = [
+        "Sec. 2.3 — variable-edge area reduction across a module sweep:",
+        f"{'W (µm)':>7s} {'fingers':>8s} {'fixed (µm²)':>12s}"
+        f" {'variable (µm²)':>15s} {'reduction':>10s}",
+    ]
+    reductions = []
+    for width, fingers, fixed, variable in rows:
+        reduction = 100 * (fixed - variable) / fixed
+        reductions.append(reduction)
+        lines.append(
+            f"{width:7.1f} {fingers:8d} {fixed:12.1f} {variable:15.1f}"
+            f" {reduction:9.1f}%"
+        )
+    lines += [
+        "",
+        f"mean reduction: {sum(reductions) / len(reductions):.1f} %",
+        "paper: 'a substantial reduction of the layout area' — holds at",
+        "every sweep point (all reductions positive).",
+    ]
+    record("t_variable_edges", lines)
+    assert all(r > 0 for r in reductions)

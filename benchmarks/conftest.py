@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's figures/claims and records a
+paper-vs-measured report under ``benchmarks/results/`` (stdout is captured
+by pytest, so the reports persist as files; EXPERIMENTS.md summarises them).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tech import generic_bicmos_1u
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The paper-substitute 1 µm BiCMOS technology."""
+    return generic_bicmos_1u()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one experiment's report lines to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name, lines):
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _record

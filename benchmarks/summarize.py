@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Concatenate all benchmark reports into one paper-vs-measured summary.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/summarize.py            # print to stdout
+    python benchmarks/summarize.py -o report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Presentation order: figures first, then in-text claims, then ablations.
+ORDER = [
+    "f1_latchup_cases",
+    "f1_latchup_flow",
+    "f2_contact_row",
+    "f2_translation_speed",
+    "f4_patterns",
+    "f4_rendering",
+    "f5a_auto_connect",
+    "f5b_variable_edges",
+    "f6_diff_pair",
+    "f6_before_after",
+    "f8_blocks",
+    "f9_amplifier",
+    "f10_module_e",
+    "f10_symmetry",
+    "t_code_length",
+    "t_code_equivalence",
+    "t_compaction_speed",
+    "t_frontier_ablation",
+    "t_optimizer_orders",
+    "t_optimizer_beam",
+    "t_optimizer_anneal",
+    "t_optimizer_variants",
+    "t_variable_edges",
+]
+
+
+def summarize() -> str:
+    """Build the combined report text."""
+    if not RESULTS.exists():
+        return (
+            "no results yet — run `pytest benchmarks/ --benchmark-only` first\n"
+        )
+    parts = ["REPRODUCTION SUMMARY — paper vs. measured", "=" * 60, ""]
+    seen = set()
+    names = [n for n in ORDER if (RESULTS / f"{n}.txt").exists()]
+    names += sorted(
+        p.stem for p in RESULTS.glob("*.txt") if p.stem not in ORDER
+    )
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        parts.append(f"--- {name} " + "-" * max(0, 50 - len(name)))
+        parts.append((RESULTS / f"{name}.txt").read_text(encoding="utf-8"))
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output")
+    args = parser.parse_args(argv)
+    text = summarize()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

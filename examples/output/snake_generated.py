@@ -1,0 +1,39 @@
+"""Generated from PLDL by repro.lang.translate — do not edit."""
+
+from repro.geometry import Direction
+from repro.lang.runtime import Runtime
+
+NORTH = Direction.NORTH
+SOUTH = Direction.SOUTH
+EAST = Direction.EAST
+WEST = Direction.WEST
+
+def ContactRow(rt, layer, W=None, L=None):
+    """Generated from entity ContactRow."""
+    obj = rt.begin("ContactRow")
+    rt.INBOX(obj, layer, W, L)
+    rt.INBOX(obj, 'metal1')
+    rt.ARRAY(obj, 'contact')
+    return obj
+
+def Snake(rt, NSEG=None, WIDE=None):
+    """Generated from entity Snake."""
+    obj = rt.begin("Snake")
+    for i in rt.frange(0.0, (NSEG - 1.0), 1.0):
+        rt.WIRE(obj, 'poly', 0.0, (i * 4.0), 12.0, (i * 4.0), 1.0)
+        if (i < (NSEG - 1.0)):
+            if ((i / 2.0) == (i / 2.0)):
+                rt.WIRE(obj, 'poly', 12.0, (i * 4.0), 12.0, ((i * 4.0) + 4.0), 1.0)
+    def _alt1_branch0():
+        if (WIDE == 0.0):
+            rt.ERROR('narrow variant requested')
+        rt.WIRE(obj, 'metal1', 0.0, 0.0, 0.0, ((NSEG - 1.0) * 4.0), 3.0)
+    def _alt1_branch1():
+        rt.WIRE(obj, 'metal1', 0.0, 0.0, 0.0, ((NSEG - 1.0) * 4.0), 1.5)
+    rt.alt(obj, [_alt1_branch0, _alt1_branch1])
+    return obj
+
+def main(rt):
+    """Top-level calling sequence of the source file."""
+    narrow = Snake(rt, NSEG=5.0, WIDE=0.0)
+    wide = Snake(rt, NSEG=5.0, WIDE=1.0)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Passive modules and RC estimation from the technology file.
+
+Generates serpentine poly resistors and MOS capacitors, estimates their
+values from the SHEET/CAP rules, and prints per-net RC reports — the
+"poly-wire resistance" consideration the paper's partitioning mentions,
+turned into numbers.
+
+Run:  python examples/passives_and_rc.py
+"""
+
+from pathlib import Path
+
+from repro import Environment
+from repro.db import rc_report
+from repro.library import (
+    capacitor_value,
+    mos_capacitor,
+    poly_resistor,
+    resistor_value,
+)
+
+OUT = Path(__file__).parent / "output"
+
+
+def main():
+    OUT.mkdir(exist_ok=True)
+    env = Environment()
+
+    print("Serpentine poly resistors (25 Ω/□ in generic_bicmos_1u):")
+    print(f"{'W (µm)':>7s} {'seg len':>8s} {'segments':>9s} {'R (Ω)':>9s}")
+    for width, seg_len, segments in [
+        (2.0, 20.0, 2), (2.0, 20.0, 4), (2.0, 20.0, 8), (4.0, 20.0, 4),
+    ]:
+        resistor = poly_resistor(
+            env.tech, width=width, segment_length=seg_len, segments=segments
+        )
+        assert env.drc(resistor, include_latchup=False) == []
+        value = resistor_value(resistor, env.tech)
+        print(f"{width:7.1f} {seg_len:8.1f} {segments:9d} {value:9.0f}")
+
+    print("\nMOS capacitors (gate area model):")
+    print(f"{'W×L (µm)':>12s} {'C (fF)':>9s}")
+    for w, l in [(10, 10), (20, 20), (40, 20)]:
+        cap = mos_capacitor(env.tech, float(w), float(l))
+        assert env.drc(cap, include_latchup=False) == []
+        print(f"{w:5d}×{l:<5d} {capacitor_value(cap, env.tech) / 1000:9.1f}")
+
+    print("\nPer-net RC report of an 8-segment resistor:")
+    resistor = poly_resistor(env.tech, segments=8)
+    print(f"{'net':14s} {'R (Ω)':>9s} {'C (fF)':>9s} {'RC (ps)':>9s}")
+    for net, (r, c, rc) in rc_report(resistor.rects, env.tech).items():
+        print(f"{net:14s} {r:9.1f} {c / 1000:9.2f} {rc:9.4f}")
+
+    env.write_svg(resistor, OUT / "resistor.svg", scale=0.05)
+    cap = mos_capacitor(env.tech, 20.0, 20.0)
+    env.write_svg(cap, OUT / "mos_capacitor.svg", scale=0.03)
+    print(f"\nSVGs written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "A Novel Analog Module Generator Environment".
+
+(M. Wolf, U. Kleine, B. J. Hosticka — DATE 1996.)
+
+A procedural analog layout module generator: a layout description language
+with design-rule-driven primitives, a successive compactor with variable-edge
+optimization, compaction-order/variant optimization, internal routing, a
+module library, and the paper's BiCMOS amplifier example.
+
+Public entry points:
+
+* :class:`repro.Environment` — technology + language + compactor + DRC.
+* :class:`repro.DesignSession` — the two-window (source/graphics) session.
+* :mod:`repro.library` — ready-made analog module generators.
+* :mod:`repro.amplifier` — the broad-band BiCMOS amplifier of Sec. 3.
+"""
+
+from .core import DesignSession, Environment
+from .db import LayoutObject
+from .geometry import EAST, NORTH, SOUTH, WEST, Direction, Rect
+from .tech import Technology, generic_bicmos_1u, generic_cmos_05u, get_technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignSession",
+    "Environment",
+    "LayoutObject",
+    "Direction",
+    "NORTH",
+    "SOUTH",
+    "EAST",
+    "WEST",
+    "Rect",
+    "Technology",
+    "generic_bicmos_1u",
+    "generic_cmos_05u",
+    "get_technology",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""The broad-band BiCMOS amplifier example (Sec. 3)."""
+
+from .amplifier import (
+    FLOORPLAN,
+    GLOBAL_NETS,
+    AmplifierReport,
+    build_amplifier,
+    measure_amplifier,
+)
+from .blocks import BLOCK_BUILDERS, block_a, block_b, block_c, block_d, block_e, block_f
+
+__all__ = [
+    "FLOORPLAN",
+    "GLOBAL_NETS",
+    "AmplifierReport",
+    "build_amplifier",
+    "measure_amplifier",
+    "BLOCK_BUILDERS",
+    "block_a",
+    "block_b",
+    "block_c",
+    "block_d",
+    "block_e",
+    "block_f",
+]

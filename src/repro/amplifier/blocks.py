@@ -1,0 +1,136 @@
+"""Blocks A–F of the broad-band BiCMOS amplifier (Sec. 3, Fig. 8).
+
+"The knowledge based partitioning of the modules takes additional analog
+properties like matching and symmetry requirements ... into account":
+
+======  =====================================================================
+block   paper requirement → module choice
+======  =====================================================================
+A       bias cascodes, no matching → two inter-digital MOS transistors
+B       moderate matching → symmetric mirror, diode transistor in the middle
+C       high symmetry/matching → cross-coupled inter-digital transistors
+D       no matching → plain MOS devices
+E       best matching → centroidal cross-coupled pair with dummies (Fig. 10)
+F       bipolar outputs → symmetrically composed npn pair
+======  =====================================================================
+
+Each block builder returns a finished, DRC-clean module with its nets
+labelled; the assembly in :mod:`repro.amplifier.amplifier` places and wires
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction
+from ..library import (
+    cascode_pair,
+    centroid_cross_coupled_pair,
+    cross_coupled_pair,
+    interdigitated_transistor,
+    mos_transistor,
+    symmetric_current_mirror,
+    symmetric_npn_pair,
+)
+from ..library.interdigitated import via_landing_um
+from ..tech import Technology
+
+
+def block_a(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Bias cascodes: two inter-digital MOS transistors side by side."""
+    if compactor is None:
+        compactor = Compactor()
+    block = LayoutObject("BlockA", tech)
+    landing = via_landing_um(tech)
+    lower = interdigitated_transistor(
+        tech, 12.0, 1.0, fingers=3,
+        gate_net="vbias1", source_net="vss", drain_net="ncasc",
+        col_metal_min=landing, compactor=compactor, name="A_lower",
+    )
+    upper = interdigitated_transistor(
+        tech, 12.0, 1.0, fingers=3,
+        gate_net="vbias2", source_net="ncasc", drain_net="ibias",
+        col_metal_min=landing, compactor=compactor, name="A_upper",
+    )
+    compactor.compact(block, lower, Direction.WEST)
+    compactor.compact(block, upper, Direction.WEST, ignore_layers=("pdiff",))
+    return block
+
+
+def block_b(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Current mirror with the diode transistor in the middle."""
+    return symmetric_current_mirror(
+        tech, 10.0, 1.2,
+        ref_net="ibias", out_nets=("itail", "iout2"), source_net="vss",
+        compactor=compactor, name="BlockB",
+    )
+
+
+def block_c(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Matched current sources: cross-coupled inter-digital transistors."""
+    return cross_coupled_pair(
+        tech, 14.0, 1.2,
+        gate_nets=("vbias1", "vbias1"), drain_nets=("iload1", "iload2"),
+        source_net="vdd", fingers_per_device=2,
+        compactor=compactor, name="BlockC",
+    )
+
+
+def block_d(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Level shifter devices without matching requirements."""
+    if compactor is None:
+        compactor = Compactor()
+    block = LayoutObject("BlockD", tech)
+    landing = via_landing_um(tech)
+    first = mos_transistor(
+        tech, 8.0, 1.0,
+        gate_net="n1", source_net="vss", drain_net="nshift",
+        col_metal_min=landing, compactor=compactor, name="D_m1",
+    )
+    second = mos_transistor(
+        tech, 8.0, 1.0,
+        gate_net="nshift", source_net="vss", drain_net="n2",
+        source_contact=False, col_metal_min=landing,
+        compactor=compactor, name="D_m2",
+    )
+    compactor.compact(block, first, Direction.WEST)
+    compactor.compact(block, second, Direction.WEST, ignore_layers=("pdiff",))
+    return block
+
+
+def block_e(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Input differential pair: the module-E centroid pair (Fig. 10)."""
+    return centroid_cross_coupled_pair(
+        tech,
+        w=10.0,
+        length=1.0,
+        gate_nets=("inp", "inn"),
+        drain_nets=("n1", "n2"),
+        source_net="itail",
+        compactor=compactor,
+        name="BlockE",
+    )
+
+
+def block_f(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
+    """Output bipolar devices, composed symmetrically."""
+    return symmetric_npn_pair(
+        tech, 2.0, 6.0,
+        nets_left=("outp", "n1", "vdd"),
+        nets_right=("outn", "n2", "vdd"),
+        compactor=compactor, name="BlockF",
+    )
+
+
+#: Builder registry in schematic order.
+BLOCK_BUILDERS = {
+    "A": block_a,
+    "B": block_b,
+    "C": block_c,
+    "D": block_d,
+    "E": block_e,
+    "F": block_f,
+}

@@ -1,0 +1,22 @@
+"""Baselines the paper compares against, implemented for real.
+
+* :mod:`coordinate_generator` — the coordinate-level module-generation style
+  of the paper's reference [11] (code-length comparison, Sec. 2.5).
+* :mod:`graph_compactor` — the general constraint-graph compaction of
+  references [17, 18] (compaction-speed comparison, Sec. 2.3).
+"""
+
+from .coordinate_generator import (
+    coordinate_contact_row,
+    coordinate_diff_pair,
+    source_line_count,
+)
+from .graph_compactor import GraphCompactor, GraphStats
+
+__all__ = [
+    "coordinate_contact_row",
+    "coordinate_diff_pair",
+    "source_line_count",
+    "GraphCompactor",
+    "GraphStats",
+]

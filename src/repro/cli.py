@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Turns the environment into a usable tool without writing Python:
+
+==============  ==============================================================
+tech list       list built-in technologies
+tech dump       write a technology description file
+build           run a PLDL entity and emit GDS/SVG, optionally DRC
+run             execute a PLDL file's top-level statements
+translate       translate PLDL source to Python (the paper's to-C step)
+drc             design-rule-check a layout file (GDS or text dump)
+render          render a layout file to SVG
+session         record the two-window design session as HTML
+amplifier       build the Sec. 3 BiCMOS amplifier example
+==============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .core import DesignSession, Environment
+from .db import LayoutObject
+from .drc import format_report, run_drc
+from .io import dumps_object, read_gds, render_svg, write_gds, write_svg
+from .io.textdump import load_object
+from .tech import (
+    BUILTIN_TECHNOLOGIES,
+    Technology,
+    dump_tech,
+    dumps_tech,
+    get_technology,
+    load_tech,
+)
+
+
+def _resolve_tech(spec: str) -> Technology:
+    """A technology name or a path to a technology description file."""
+    if spec in BUILTIN_TECHNOLOGIES:
+        return get_technology(spec)
+    path = Path(spec)
+    if path.exists():
+        return load_tech(path)
+    known = ", ".join(sorted(BUILTIN_TECHNOLOGIES))
+    raise SystemExit(
+        f"error: unknown technology {spec!r} (built-ins: {known}; or pass a"
+        " .tech file path)"
+    )
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    """Parse ``K=V`` entity parameters; numeric values become floats."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: parameter {pair!r} is not of the form K=V")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = float(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _load_layout(path: str, tech: Technology) -> LayoutObject:
+    """Load a layout from a .gds or text-dump file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise SystemExit(f"error: no such file {path!r}")
+    if file_path.suffix.lower() == ".gds":
+        objects = read_gds(file_path, tech)
+        if not objects:
+            raise SystemExit(f"error: {path!r} contains no structures")
+        return objects[0]
+    return load_object(file_path, tech)
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+def cmd_tech(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        for name in sorted(BUILTIN_TECHNOLOGIES):
+            tech = get_technology(name)
+            print(f"{name}: {len(tech.layers)} layers, "
+                  f"{tech.dbu_per_micron} dbu/µm")
+        return 0
+    tech = _resolve_tech(args.name)
+    if args.output:
+        dump_tech(tech, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(dumps_tech(tech), end="")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    env = Environment(tech=_resolve_tech(args.tech))
+    env.load(Path(args.source).read_text(encoding="utf-8"))
+    params = _parse_params(args.param or [])
+    module = env.build(args.entity, **params)
+    dbu = env.tech.dbu_per_micron
+    print(f"{args.entity}: {module.width / dbu:.2f} × {module.height / dbu:.2f} µm, "
+          f"{len(module.nonempty_rects)} rects")
+    status = 0
+    if args.drc:
+        violations = env.drc(module)
+        print(format_report(violations))
+        status = 1 if violations else 0
+    if args.gds:
+        write_gds(module, args.gds)
+        print(f"wrote {args.gds}")
+    if args.cif:
+        from .io import write_cif
+
+        write_cif(module, args.cif)
+        print(f"wrote {args.cif}")
+    if args.svg:
+        write_svg(module, args.svg, scale=args.scale)
+        print(f"wrote {args.svg}")
+    if args.dump:
+        Path(args.dump).write_text(dumps_object(module), encoding="utf-8")
+        print(f"wrote {args.dump}")
+    return status
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    env = Environment(tech=_resolve_tech(args.tech))
+    result = env.run(Path(args.source).read_text(encoding="utf-8"))
+    dbu = env.tech.dbu_per_micron
+    for name, value in result.items():
+        if isinstance(value, LayoutObject):
+            print(f"{name}: layout {value.width / dbu:.2f} × "
+                  f"{value.height / dbu:.2f} µm ({len(value.nonempty_rects)} rects)")
+        else:
+            print(f"{name} = {value}")
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    env = Environment(tech=_resolve_tech(args.tech))
+    code = env.translate(Path(args.source).read_text(encoding="utf-8"))
+    if args.output:
+        Path(args.output).write_text(code, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(code, end="")
+    return 0
+
+
+def cmd_drc(args: argparse.Namespace) -> int:
+    tech = _resolve_tech(args.tech)
+    layout = _load_layout(args.layout, tech)
+    violations = run_drc(layout, include_latchup=not args.no_latchup)
+    print(format_report(violations))
+    return 1 if violations else 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    tech = _resolve_tech(args.tech)
+    layout = _load_layout(args.layout, tech)
+    write_svg(layout, args.output, scale=args.scale)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    session = DesignSession(tech=_resolve_tech(args.tech))
+    session.run(Path(args.source).read_text(encoding="utf-8"))
+    session.save_html(args.output)
+    print(f"recorded {len(session.snapshots)} snapshots → {args.output}")
+    return 0
+
+
+def cmd_rc(args: argparse.Namespace) -> int:
+    from .db import rc_report
+
+    tech = _resolve_tech(args.tech)
+    layout = _load_layout(args.layout, tech)
+    report = rc_report(layout.rects, tech)
+    if not report:
+        print("no labelled nets in the layout")
+        return 0
+    print(f"{'net':12s} {'R (ohm)':>10s} {'C (fF)':>10s} {'RC (ps)':>10s}")
+    for net, (resistance, capacitance, rc_ps) in report.items():
+        print(f"{net:12s} {resistance:10.1f} {capacitance / 1000:10.2f}"
+              f" {rc_ps:10.4f}")
+    return 0
+
+
+def cmd_amplifier(args: argparse.Namespace) -> int:
+    from .amplifier import build_amplifier, measure_amplifier
+
+    tech = _resolve_tech(args.tech)
+    amp = build_amplifier(tech)
+    report = measure_amplifier(amp)
+    print(f"amplifier: {report.width_um:.0f} × {report.height_um:.0f} µm = "
+          f"{report.area_um2:,.0f} µm², DRC violations: {report.drc_violations}")
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    write_gds(amp, out / "bicmos_amplifier.gds")
+    write_svg(amp, out / "bicmos_amplifier.svg", scale=0.004)
+    print(f"wrote {out}/bicmos_amplifier.gds and .svg")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analog module generator environment (DATE 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tech = sub.add_parser("tech", help="list or dump technologies")
+    tech.add_argument("action", choices=["list", "dump"])
+    tech.add_argument("name", nargs="?", default="generic_bicmos_1u")
+    tech.add_argument("-o", "--output")
+    tech.set_defaults(func=cmd_tech)
+
+    build = sub.add_parser("build", help="build one entity from a PLDL file")
+    build.add_argument("source")
+    build.add_argument("entity")
+    build.add_argument("-p", "--param", action="append", metavar="K=V")
+    build.add_argument("--tech", default="generic_bicmos_1u")
+    build.add_argument("--gds")
+    build.add_argument("--cif")
+    build.add_argument("--svg")
+    build.add_argument("--dump")
+    build.add_argument("--scale", type=float, default=0.02)
+    build.add_argument("--drc", action="store_true")
+    build.set_defaults(func=cmd_build)
+
+    run = sub.add_parser("run", help="execute a PLDL file's top level")
+    run.add_argument("source")
+    run.add_argument("--tech", default="generic_bicmos_1u")
+    run.set_defaults(func=cmd_run)
+
+    translate = sub.add_parser("translate", help="translate PLDL to Python")
+    translate.add_argument("source")
+    translate.add_argument("-o", "--output")
+    translate.add_argument("--tech", default="generic_bicmos_1u")
+    translate.set_defaults(func=cmd_translate)
+
+    drc = sub.add_parser("drc", help="design-rule-check a layout file")
+    drc.add_argument("layout")
+    drc.add_argument("--tech", default="generic_bicmos_1u")
+    drc.add_argument("--no-latchup", action="store_true")
+    drc.set_defaults(func=cmd_drc)
+
+    render = sub.add_parser("render", help="render a layout file to SVG")
+    render.add_argument("layout")
+    render.add_argument("-o", "--output", required=True)
+    render.add_argument("--tech", default="generic_bicmos_1u")
+    render.add_argument("--scale", type=float, default=0.02)
+    render.set_defaults(func=cmd_render)
+
+    session = sub.add_parser("session", help="record a two-window session")
+    session.add_argument("source")
+    session.add_argument("-o", "--output", required=True)
+    session.add_argument("--tech", default="generic_bicmos_1u")
+    session.set_defaults(func=cmd_session)
+
+    rc = sub.add_parser("rc", help="per-net RC report of a layout file")
+    rc.add_argument("layout")
+    rc.add_argument("--tech", default="generic_bicmos_1u")
+    rc.set_defaults(func=cmd_rc)
+
+    amplifier = sub.add_parser("amplifier", help="build the Sec. 3 amplifier")
+    amplifier.add_argument("-o", "--output", default="amplifier_out")
+    amplifier.add_argument("--tech", default="generic_bicmos_1u")
+    amplifier.set_defaults(func=cmd_amplifier)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

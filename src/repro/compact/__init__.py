@@ -1,0 +1,21 @@
+"""Successive compaction (Sec. 2.3)."""
+
+from .compactor import MAX_SHRINK_ROUNDS, CompactionResult, Compactor
+from .separation import (
+    PairConstraint,
+    frontier_filter,
+    gather_constraints,
+    pair_travel,
+    required_spacing,
+)
+
+__all__ = [
+    "MAX_SHRINK_ROUNDS",
+    "CompactionResult",
+    "Compactor",
+    "PairConstraint",
+    "frontier_filter",
+    "gather_constraints",
+    "pair_travel",
+    "required_spacing",
+]

@@ -1,0 +1,201 @@
+"""Pairwise separation constraints for successive compaction.
+
+Given one rectangle of the moving object and one of the main structure plus
+the compaction direction, decide whether the pair constrains the motion and,
+if so, how far the object may travel.  Encodes the paper's special cases:
+
+* layers listed as "not relevant during this compaction step" are skipped;
+* "edges on the same potential are not considered during compaction, because
+  they can be merged" — same-net pairs on connectable layers are skipped;
+* the per-rectangle *no_overlap* property forbids overlap even between layer
+  pairs that carry no spacing rule (parasitic-capacitance protection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from ..geometry import Direction, Rect
+from ..tech import Technology
+
+#: Sentinel for "this pair never constrains the motion".
+UNCONSTRAINED = None
+
+
+@dataclass
+class PairConstraint:
+    """One active separation constraint between a moving and a fixed rect.
+
+    ``max_travel`` is the largest signed travel (along the compaction
+    direction, positive = with the direction) the moving rect may make before
+    the required ``spacing`` to the fixed rect is violated.
+    """
+
+    moving: Rect
+    fixed: Rect
+    spacing: int
+    max_travel: int
+
+
+def required_spacing(
+    tech: Technology,
+    moving: Rect,
+    fixed: Rect,
+    ignore_layers: FrozenSet[str],
+) -> Optional[int]:
+    """Spacing the pair must keep, or ``None`` when unconstrained.
+
+    A result of 0 means "may touch but not overlap" (the no_overlap case);
+    any rule-driven spacing comes back verbatim.
+    """
+    if moving.layer in ignore_layers or fixed.layer in ignore_layers:
+        return UNCONSTRAINED
+    if moving.is_empty or fixed.is_empty:
+        return UNCONSTRAINED
+
+    same_net = (
+        moving.net is not None
+        and moving.net == fixed.net
+        and tech.connectable(moving.layer, fixed.layer)
+    )
+    if same_net:
+        return UNCONSTRAINED
+
+    rule = tech.min_space(moving.layer, fixed.layer)
+    if rule is not None:
+        return rule
+
+    if (moving.no_overlap or fixed.no_overlap) and (
+        tech.layer(moving.layer).conducting and tech.layer(fixed.layer).conducting
+    ):
+        return 0
+    return UNCONSTRAINED
+
+
+def pair_travel(moving: Rect, fixed: Rect, direction: Direction, spacing: int) -> Optional[int]:
+    """Max travel of *moving* along *direction* keeping *spacing* to *fixed*.
+
+    Returns ``None`` when the pair does not constrain motion along this axis
+    (their perpendicular spans, grown by the spacing, do not overlap).
+    """
+    perp = direction.axis.other
+    margin = max(spacing, 0)
+    if not moving.spans_overlap(fixed, perp, margin=margin):
+        return None
+    sign = 1 if direction.is_positive else -1
+    lead = moving.edge_coord(direction)
+    face = fixed.edge_coord(direction.opposite)
+    return (face - lead) * sign - spacing
+
+
+def gather_constraints(
+    tech: Technology,
+    moving_rects: Sequence[Rect],
+    fixed_rects: Sequence[Rect],
+    direction: Direction,
+    ignore_layers: Iterable[str] = (),
+) -> List[PairConstraint]:
+    """All active pair constraints for one compaction step."""
+    ignore = frozenset(ignore_layers)
+    constraints: List[PairConstraint] = []
+    for moving in moving_rects:
+        for fixed in fixed_rects:
+            spacing = required_spacing(tech, moving, fixed, ignore)
+            if spacing is UNCONSTRAINED:
+                continue
+            travel = pair_travel(moving, fixed, direction, spacing)
+            if travel is None:
+                continue
+            constraints.append(PairConstraint(moving, fixed, spacing, travel))
+    return constraints
+
+
+class IntervalSet:
+    """A union of 1-D closed intervals with containment queries."""
+
+    def __init__(self) -> None:
+        self._spans: List[List[int]] = []  # sorted, disjoint [lo, hi]
+
+    def add(self, lo: int, hi: int) -> None:
+        """Insert [lo, hi], merging overlapping/adjacent intervals."""
+        if lo >= hi:
+            return
+        import bisect
+
+        index = bisect.bisect_left(self._spans, [lo, hi])
+        if index > 0 and self._spans[index - 1][1] >= lo:
+            index -= 1
+        new_lo, new_hi = lo, hi
+        while index < len(self._spans) and self._spans[index][0] <= new_hi:
+            new_lo = min(new_lo, self._spans[index][0])
+            new_hi = max(new_hi, self._spans[index][1])
+            del self._spans[index]
+        self._spans.insert(index, [new_lo, new_hi])
+
+    def contains(self, lo: int, hi: int) -> bool:
+        """True when [lo, hi] lies inside one merged interval."""
+        import bisect
+
+        index = bisect.bisect_right(self._spans, [lo + 1]) - 1
+        if index < 0:
+            return False
+        span = self._spans[index]
+        return span[0] <= lo and hi <= span[1]
+
+
+def frontier_filter(
+    rects: Sequence[Rect],
+    direction: Direction,
+    arrival_nets: FrozenSet[str] = frozenset(),
+) -> List[Rect]:
+    """Drop fixed rects fully shadowed behind nearer same-layer geometry.
+
+    The paper's "only outer edges of the main object have to be kept in the
+    data structure" speed-up.  A rect whose perpendicular span is covered by
+    nearer same-layer rects can never bind — with two soundness conditions:
+
+    * a shadower whose net the arriving object carries might itself be
+      skipped by the same-potential rule, so it may only shadow rects of its
+      own net (``arrival_nets`` names the arriving object's nets);
+    * a plain rect may not shadow a ``no_overlap`` rect — when no spacing
+      rule exists, only the latter constrains the motion.
+
+    Implemented as a nearest-first sweep over interval unions: O(n log n)
+    per compaction step instead of the naive all-pairs scan.
+    """
+    facing = direction.opposite
+    sign = 1 if direction.is_positive else -1
+    perp = direction.axis.other
+
+    by_layer: dict = {}
+    for rect in rects:
+        if not rect.is_empty:
+            by_layer.setdefault(rect.layer, []).append(rect)
+
+    survivors: List[Rect] = []
+    for layer_rects in by_layer.values():
+        # Nearest first: the arriving object travels along `direction`, so
+        # the nearest facing edge is the one farthest AGAINST it — smallest
+        # sign-adjusted coordinate first.
+        layer_rects.sort(key=lambda r: sign * r.edge_coord(facing))
+        general = IntervalSet()  # shadowers safe against every arrival
+        general_strict = IntervalSet()  # ... that also dominate no_overlap
+        per_net: dict = {}
+        for rect in layer_rects:
+            lo, hi = rect.span(perp)
+            cover = general_strict if rect.no_overlap else general
+            own = per_net.get(rect.net)
+            shadowed = cover.contains(lo, hi) or (
+                own is not None and own.contains(lo, hi)
+            )
+            if not shadowed:
+                survivors.append(rect)
+            # Register this rect as a shadower for rects behind it.
+            if rect.net is None or rect.net not in arrival_nets:
+                general.add(lo, hi)
+                if rect.no_overlap:
+                    general_strict.add(lo, hi)
+            else:
+                per_net.setdefault(rect.net, IntervalSet()).add(lo, hi)
+    return survivors

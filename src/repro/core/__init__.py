@@ -1,0 +1,6 @@
+"""Environment façade and two-window design session."""
+
+from .environment import Environment
+from .session import DesignSession, Snapshot
+
+__all__ = ["Environment", "DesignSession", "Snapshot"]

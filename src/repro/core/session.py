@@ -1,0 +1,94 @@
+"""The two-window programming session (Sec. 2.1).
+
+"During programming the environment supports two windows, a text window for
+the source code and a corresponding graphical view of the module."
+
+:class:`DesignSession` reproduces this as files: it traces the interpreter,
+snapshots the structure after every statement, and can emit a single HTML
+page showing the source next to the per-step renderings.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..io.svg import render_svg
+from ..lang import Interpreter
+from ..tech import Technology, get_technology
+
+
+@dataclass
+class Snapshot:
+    """State of a structure right after one source statement executed."""
+
+    line: int
+    entity: str
+    svg: str
+    rect_count: int
+
+
+class DesignSession:
+    """Interactive-style session that records the graphical view per step."""
+
+    def __init__(
+        self,
+        tech: Union[str, Technology] = "generic_bicmos_1u",
+        scale: float = 0.02,
+    ) -> None:
+        self.tech = get_technology(tech) if isinstance(tech, str) else tech
+        self.scale = scale
+        self.snapshots: List[Snapshot] = []
+        self.source = ""
+        self.interpreter = Interpreter(self.tech, Compactor(), trace=self._trace)
+
+    # ------------------------------------------------------------------
+    def run(self, source: str) -> Dict[str, Any]:
+        """Execute PLDL source, recording a snapshot per statement."""
+        self.source = source
+        self.snapshots.clear()
+        return self.interpreter.run(source)
+
+    def _trace(self, line: int, obj: Optional[LayoutObject]) -> None:
+        if obj is None or obj.is_empty():
+            return
+        self.snapshots.append(
+            Snapshot(
+                line=line,
+                entity=obj.name,
+                svg=render_svg(obj, scale=self.scale),
+                rect_count=len(obj.nonempty_rects),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def save_html(self, path: Union[str, Path], title: str = "Design session") -> None:
+        """Write the two-window view: source left, step renderings right."""
+        source_html = "\n".join(
+            f'<span class="ln">{number:4d}</span> {html.escape(text)}'
+            for number, text in enumerate(self.source.splitlines(), start=1)
+        )
+        steps = "\n".join(
+            f'<div class="step"><h3>step {index + 1}: {html.escape(snap.entity)}'
+            f" (line {snap.line}, {snap.rect_count} rects)</h3>{snap.svg}</div>"
+            for index, snap in enumerate(self.snapshots)
+        )
+        page = f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+body {{ font-family: monospace; display: flex; gap: 2em; }}
+pre {{ background: #f4f4f4; padding: 1em; }}
+.ln {{ color: #999; }}
+.step {{ margin-bottom: 1.5em; }}
+.panel {{ overflow: auto; max-height: 95vh; }}
+</style></head>
+<body>
+<div class="panel"><h2>source</h2><pre>{source_html}</pre></div>
+<div class="panel"><h2>graphical view</h2>{steps}</div>
+</body></html>
+"""
+        Path(path).write_text(page, encoding="utf-8")

@@ -1,0 +1,28 @@
+"""Layout database: hierarchical objects, rebuild links, connectivity."""
+
+from .links import ArrayLink, InsideLink, Link
+from .nets import (
+    DisjointSet,
+    capacitance_report,
+    estimate_net_capacitance,
+    estimate_net_resistance,
+    extract_connectivity,
+    net_is_connected,
+    rc_report,
+)
+from .object import Label, LayoutObject
+
+__all__ = [
+    "ArrayLink",
+    "InsideLink",
+    "Link",
+    "DisjointSet",
+    "capacitance_report",
+    "estimate_net_capacitance",
+    "estimate_net_resistance",
+    "extract_connectivity",
+    "net_is_connected",
+    "rc_report",
+    "Label",
+    "LayoutObject",
+]

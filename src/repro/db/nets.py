@@ -1,0 +1,179 @@
+"""Electrical connectivity extraction and parasitic estimation.
+
+Used for three things:
+
+* verifying the compactor's same-potential auto-connection actually connected
+  what it merged (Fig. 5a);
+* the electrical term of the optimizer's rating function (Sec. 2.4);
+* reporting "the quality (parasitic capacitances of the internal nodes)" of a
+  finished module, as the paper does for the BiCMOS amplifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..geometry import Rect
+from ..tech import Technology
+
+
+class DisjointSet:
+    """Union-find over integer indices with path compression."""
+
+    def __init__(self, size: int) -> None:
+        self._parent = list(range(size))
+
+    def find(self, index: int) -> int:
+        """Representative of the set containing *index*."""
+        root = index
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[index] != root:
+            self._parent[index], index = root, self._parent[index]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing *a* and *b*."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[Rect]]:
+    """Group conducting rects into electrically connected components.
+
+    Two rects connect when they touch/overlap on the same layer, or when a
+    cut rect overlaps both plates of a layer pair the technology declares the
+    cut to join (e.g. ``contact`` joins ``poly`` to ``metal1``).
+
+    Diffusion is special: an unlabelled active region is a device body, not
+    interconnect — the source and drain sides of a transistor both touch it
+    yet are separated by the channel.  Unlabelled diffusion is therefore
+    excluded, and labelled diffusion rects only connect to each other when
+    they carry the same net.
+    """
+    from ..tech.layer import LayerKind
+
+    def is_diffusion(rect: Rect) -> bool:
+        return tech.layer(rect.layer).kind is LayerKind.DIFFUSION
+
+    conducting = [
+        r
+        for r in rects
+        if not r.is_empty
+        and tech.layer(r.layer).conducting
+        and not (is_diffusion(r) and r.net is None)
+    ]
+    dsu = DisjointSet(len(conducting))
+
+    by_layer: Dict[str, List[int]] = {}
+    for index, rect in enumerate(conducting):
+        by_layer.setdefault(rect.layer, []).append(index)
+
+    # Same-layer touching (same-net only on diffusion: crossing gates split
+    # an active region electrically).
+    for indices in by_layer.values():
+        for pos, i in enumerate(indices):
+            for j in indices[pos + 1:]:
+                a, b = conducting[i], conducting[j]
+                if is_diffusion(a) and a.net != b.net:
+                    continue
+                if a.touches_or_intersects(b):
+                    dsu.union(i, j)
+
+    # Declared diffused junctions: overlapping shapes connect directly.
+    for i, a in enumerate(conducting):
+        for j in range(i + 1, len(conducting)):
+            b = conducting[j]
+            if a.layer != b.layer and tech.overlap_connected(a.layer, b.layer):
+                if a.intersects(b):
+                    dsu.union(i, j)
+
+    # Cross-layer through cuts.
+    for cut_index, cut in enumerate(conducting):
+        for bottom, top in tech.connected_layers(cut.layer):
+            bottoms = [
+                i for i in by_layer.get(bottom, []) if conducting[i].intersects(cut)
+            ]
+            tops = [i for i in by_layer.get(top, []) if conducting[i].intersects(cut)]
+            for i in bottoms + tops:
+                dsu.union(cut_index, i)
+
+    groups: Dict[int, List[Rect]] = {}
+    for index, rect in enumerate(conducting):
+        groups.setdefault(dsu.find(index), []).append(rect)
+    return list(groups.values())
+
+
+def net_is_connected(rects: Sequence[Rect], tech: Technology, net: str) -> bool:
+    """True when every rect labelled *net* sits in one connected component."""
+    labelled = [r for r in rects if r.net == net and not r.is_empty]
+    if len(labelled) <= 1:
+        return True
+    components = extract_connectivity(rects, tech)
+    for component in components:
+        members = set(map(id, component))
+        if all(id(r) in members for r in labelled):
+            return True
+    return False
+
+
+def estimate_net_capacitance(
+    rects: Iterable[Rect], tech: Technology, net: str
+) -> float:
+    """Area + perimeter capacitance of all geometry on *net* (aF)."""
+    total = 0.0
+    for rect in rects:
+        if rect.net != net or rect.is_empty:
+            continue
+        model = tech.capacitance(rect.layer)
+        total += model.area * rect.area
+        total += model.perimeter * 2 * (rect.width + rect.height)
+    return total
+
+
+def capacitance_report(
+    rects: Sequence[Rect], tech: Technology
+) -> Dict[str, float]:
+    """Per-net capacitance summary (aF), sorted by net name."""
+    nets = sorted({r.net for r in rects if r.net and not r.is_empty})
+    return {net: estimate_net_capacitance(rects, tech, net) for net in nets}
+
+
+def estimate_net_resistance(
+    rects: Iterable[Rect], tech: Technology, net: str
+) -> float:
+    """Series resistance estimate of the wiring on *net* (Ω).
+
+    Each rect contributes its sheet resistance times its aspect ratio along
+    the long axis (squares of material).  A crude serial model — rects of a
+    snaking wire add, branching is ignored — but exactly what the paper's
+    partitioning needs to weigh "poly-wire resistance" against alternatives.
+    """
+    total = 0.0
+    for rect in rects:
+        if rect.net != net or rect.is_empty:
+            continue
+        rho = tech.sheet_rho(rect.layer)
+        if rho <= 0:
+            continue
+        long_side = max(rect.width, rect.height)
+        short_side = min(rect.width, rect.height)
+        total += rho * long_side / short_side
+    return total
+
+
+def rc_report(
+    rects: Sequence[Rect], tech: Technology
+) -> Dict[str, Tuple[float, float, float]]:
+    """Per-net (R in Ω, C in aF, RC in ps) summary, sorted by net name.
+
+    The RC product converts as Ω·aF = 10⁻¹⁸ s = 10⁻⁶ ps, reported in ps.
+    """
+    nets = sorted({r.net for r in rects if r.net and not r.is_empty})
+    report: Dict[str, Tuple[float, float, float]] = {}
+    for net in nets:
+        resistance = estimate_net_resistance(rects, tech, net)
+        capacitance = estimate_net_capacitance(rects, tech, net)
+        report[net] = (resistance, capacitance, resistance * capacitance * 1e-6)
+    return report

@@ -1,0 +1,34 @@
+"""Design-rule checking, including the Fig. 1 latch-up examination."""
+
+from .checker import (
+    check_areas,
+    check_enclosures,
+    check_extensions,
+    check_shorts,
+    check_spacing,
+    check_widths,
+    run_drc,
+)
+from .latchup import (
+    check_latchup,
+    insert_protection_contacts,
+    temporary_rectangles,
+    uncovered_active_area,
+)
+from .violations import Violation, format_report
+
+__all__ = [
+    "check_areas",
+    "check_enclosures",
+    "check_extensions",
+    "check_shorts",
+    "check_spacing",
+    "check_widths",
+    "run_drc",
+    "check_latchup",
+    "insert_protection_contacts",
+    "temporary_rectangles",
+    "uncovered_active_area",
+    "Violation",
+    "format_report",
+]

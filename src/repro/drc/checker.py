@@ -1,0 +1,346 @@
+"""Geometric design-rule checks: width, spacing, enclosure, extension, area.
+
+The environment fulfils rules constructively (primitives + compactor); this
+checker verifies results independently.  Checks are *component-based*:
+same-layer rects that touch or overlap form one merged shape (that is how
+the rectangle database represents polygons), so spacing applies between
+components, and transistor-extension rules apply between a gate and the
+whole diffusion component it crosses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..db import DisjointSet, LayoutObject
+from ..geometry import Rect, bounding_box
+from ..tech import Technology
+from .latchup import check_latchup
+from .violations import Violation
+
+
+class _Components:
+    """Per-layer connected components of touching rects."""
+
+    def __init__(self, rects: Sequence[Rect]) -> None:
+        self.rects = list(rects)
+        self._comp_of: Dict[int, int] = {}
+        by_layer: Dict[str, List[int]] = {}
+        for index, rect in enumerate(self.rects):
+            by_layer.setdefault(rect.layer, []).append(index)
+        dsu = DisjointSet(len(self.rects))
+        for indices in by_layer.values():
+            for pos, i in enumerate(indices):
+                for j in indices[pos + 1:]:
+                    if self.rects[i].touches_or_intersects(self.rects[j]):
+                        dsu.union(i, j)
+        for index in range(len(self.rects)):
+            self._comp_of[index] = dsu.find(index)
+        self._members: Dict[int, List[int]] = {}
+        for index, comp in self._comp_of.items():
+            self._members.setdefault(comp, []).append(index)
+
+    def component(self, index: int) -> int:
+        """Component id of rect *index*."""
+        return self._comp_of[index]
+
+    def members(self, comp: int) -> List[Rect]:
+        """All rects of a component."""
+        return [self.rects[i] for i in self._members[comp]]
+
+    def touches_component(self, rect: Rect, comp: int) -> bool:
+        """True when *rect* touches/overlaps any member of *comp*."""
+        return any(rect.touches_or_intersects(member) for member in self.members(comp))
+
+    def component_nets(self, comp: int) -> Set[Optional[str]]:
+        """Nets present in a component."""
+        return {member.net for member in self.members(comp)}
+
+
+def check_widths(obj: LayoutObject) -> List[Violation]:
+    """Minimum width (and exact cut size) per rect."""
+    violations: List[Violation] = []
+    for rect in obj.nonempty_rects:
+        cut = obj.tech.rules.cut_size(rect.layer)
+        if cut is not None:
+            if rect.width != cut or rect.height != cut:
+                violations.append(
+                    Violation(
+                        "width",
+                        f"cut on {rect.layer!r} must be exactly {cut} dbu square,"
+                        f" found {rect.width}×{rect.height}",
+                        rect.center,
+                        (rect,),
+                    )
+                )
+            continue
+        rule = obj.tech.rules.width(rect.layer)
+        if rule is not None and rect.short_side() < rule:
+            # A short rect overlapping a rule-sized same-layer neighbour is
+            # part of a wider merged shape (e.g. a stub ending on a via
+            # pad); only isolated thin shapes violate the rule.
+            absorbed = any(
+                other is not rect
+                and other.layer == rect.layer
+                and other.short_side() >= rule
+                and other.intersects(rect)
+                for other in obj.nonempty_rects
+            )
+            if absorbed:
+                continue
+            violations.append(
+                Violation(
+                    "width",
+                    f"{rect.layer!r} shape is {rect.short_side()} dbu wide,"
+                    f" rule requires {rule}",
+                    rect.center,
+                    (rect,),
+                )
+            )
+    return violations
+
+
+def check_spacing(obj: LayoutObject) -> List[Violation]:
+    """Pairwise spacing between merged shapes.
+
+    Same-component pairs are one shape; same-net components may merge; a
+    gate-layer rect crossing a diffusion component is functionally attached
+    to it, so the cross-layer spacing rule does not apply to that pair.
+    """
+    violations: List[Violation] = []
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    for i, a in enumerate(rects):
+        for j in range(i + 1, len(rects)):
+            b = rects[j]
+            rule = obj.tech.min_space(a.layer, b.layer)
+            if rule is None:
+                continue
+            if a.layer == b.layer:
+                if comps.component(i) == comps.component(j):
+                    continue
+                if a.net is not None and a.net == b.net:
+                    continue
+                gap = a.distance(b)
+                if 0 < gap < rule:
+                    violations.append(
+                        Violation(
+                            "spacing",
+                            f"{a.layer!r} gap {gap} dbu < rule {rule}",
+                            a.center,
+                            (a, b),
+                        )
+                    )
+                continue
+            # Cross-layer: intentional stacking touches; a rect functionally
+            # attached to the other's component is exempt.
+            if a.touches_or_intersects(b):
+                continue
+            if comps.touches_component(a, comps.component(j)):
+                continue
+            if comps.touches_component(b, comps.component(i)):
+                continue
+            gap = a.distance(b)
+            if 0 < gap < rule:
+                violations.append(
+                    Violation(
+                        "spacing",
+                        f"{a.layer!r}/{b.layer!r} gap {gap} dbu < rule {rule}",
+                        a.center,
+                        (a, b),
+                    )
+                )
+    return violations
+
+
+def check_enclosures(obj: LayoutObject) -> List[Violation]:
+    """Every cut must sit inside a bottom and a top conductor with margin.
+
+    Enclosure is evaluated against merged shapes: the margin-grown cut must
+    be covered by the union of one component's rects, not necessarily by a
+    single rect.
+    """
+    violations: List[Violation] = []
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    for cut in rects:
+        if obj.tech.rules.cut_size(cut.layer) is None:
+            continue
+        pairs = obj.tech.connected_layers(cut.layer)
+        if not pairs:
+            continue
+        bottoms = {bottom for bottom, _ in pairs}
+        tops = {top for _, top in pairs}
+        for role, candidates in (("bottom", bottoms), ("top", tops)):
+            if not _enclosed_by_any(obj, comps, cut, candidates):
+                violations.append(
+                    Violation(
+                        "enclosure",
+                        f"cut on {cut.layer!r} lacks a {role} conductor"
+                        f" ({'/'.join(sorted(candidates))}) with rule enclosure",
+                        cut.center,
+                        (cut,),
+                    )
+                )
+    return violations
+
+
+def _enclosed_by_any(
+    obj: LayoutObject, comps: _Components, cut: Rect, layers: Sequence[str]
+) -> bool:
+    from ..geometry import covered_by
+
+    for layer in layers:
+        margin = obj.tech.enclosure_or_zero(layer, cut.layer)
+        grown = cut.grown(margin)
+        candidates = [r for r in obj.rects_on(layer) if r.intersects(grown)]
+        if candidates and covered_by([grown], candidates):
+            return True
+    return False
+
+
+def check_extensions(obj: LayoutObject) -> List[Violation]:
+    """Transistor formation rules against merged diffusion shapes.
+
+    For every (gate-layer, body-layer) pair with EXTEND rules: a gate rect
+    overlapping a diffusion component must fully cross the *local* body rect
+    along one axis with its endcap, and the component must provide the
+    source/drain extension on the other axis (evaluated on the component's
+    bounding box — sound for the convex diffusion regions the primitives
+    build).
+    """
+    from ..tech.layer import LayerKind
+
+    violations: List[Violation] = []
+    rules = obj.tech.rules
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+
+    # Group diffusion rects by (layer, component).
+    body_components: Dict[Tuple[str, int], List[Rect]] = {}
+    for index, rect in enumerate(rects):
+        if obj.tech.layer(rect.layer).kind is LayerKind.DIFFUSION:
+            body_components.setdefault(
+                (rect.layer, comps.component(index)), []
+            ).append(rect)
+
+    for gate in rects:
+        if obj.tech.layer(gate.layer).kind is not LayerKind.POLY:
+            continue
+        for (body_layer, comp), members in body_components.items():
+            endcap = rules.extend(gate.layer, body_layer)
+            sd_ext = rules.extend(body_layer, gate.layer)
+            if endcap is None or sd_ext is None:
+                continue
+            if not any(gate.intersects(member) for member in members):
+                continue
+            box = bounding_box(members)
+            assert box is not None
+            violations.extend(_check_crossing(gate, box, endcap, sd_ext))
+    return violations
+
+
+def _check_crossing(
+    gate: Rect, body: Rect, endcap: int, sd_ext: int
+) -> List[Violation]:
+    crosses_vertically = gate.y1 <= body.y1 and gate.y2 >= body.y2
+    crosses_horizontally = gate.x1 <= body.x1 and gate.x2 >= body.x2
+    problems: List[str] = []
+    if crosses_vertically:
+        if gate.y1 > body.y1 - endcap or gate.y2 < body.y2 + endcap:
+            problems.append(f"gate endcap < {endcap} dbu")
+        if body.x1 > gate.x1 - sd_ext or body.x2 < gate.x2 + sd_ext:
+            problems.append(f"source/drain extension < {sd_ext} dbu")
+    elif crosses_horizontally:
+        if gate.x1 > body.x1 - endcap or gate.x2 < body.x2 + endcap:
+            problems.append(f"gate endcap < {endcap} dbu")
+        if body.y1 > gate.y1 - sd_ext or body.y2 < gate.y2 + sd_ext:
+            problems.append(f"source/drain extension < {sd_ext} dbu")
+    else:
+        problems.append(
+            f"{gate.layer!r} overlaps {body.layer!r} without crossing it"
+            " (partial gate)"
+        )
+    return [
+        Violation("extension", problem, gate.center, (gate, body))
+        for problem in problems
+    ]
+
+
+def check_areas(obj: LayoutObject) -> List[Violation]:
+    """Minimum area per merged shape (union area of each component)."""
+    from ..geometry import union_area
+
+    violations: List[Violation] = []
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    seen: Set[int] = set()
+    for index, rect in enumerate(rects):
+        rule = obj.tech.rules.area(rect.layer)
+        if rule is None:
+            continue
+        comp = comps.component(index)
+        if comp in seen:
+            continue
+        seen.add(comp)
+        members = [m for m in comps.members(comp) if m.layer == rect.layer]
+        if union_area(members) < rule:
+            violations.append(
+                Violation(
+                    "area",
+                    f"{rect.layer!r} shape area {union_area(members)} dbu²"
+                    f" < rule {rule}",
+                    rect.center,
+                    tuple(members),
+                )
+            )
+    return violations
+
+
+def check_shorts(obj: LayoutObject) -> List[Violation]:
+    """Two different nets inside one merged shape are a short.
+
+    Applies to unambiguous conductor layers (metal, poly, cuts); diffusion
+    components legitimately carry several nets (the source and drain of one
+    device share an active region through the channel).
+    """
+    from ..tech.layer import LayerKind
+
+    violations: List[Violation] = []
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    reported: Set[int] = set()
+    for index, rect in enumerate(rects):
+        kind = obj.tech.layer(rect.layer).kind
+        if kind not in (LayerKind.METAL, LayerKind.POLY, LayerKind.CUT):
+            continue
+        comp = comps.component(index)
+        if comp in reported:
+            continue
+        nets = comps.component_nets(comp) - {None}
+        if len(nets) > 1:
+            reported.add(comp)
+            violations.append(
+                Violation(
+                    "short",
+                    f"merged {rect.layer!r} shape carries nets"
+                    f" {sorted(nets)}",
+                    rect.center,
+                    tuple(comps.members(comp)),
+                )
+            )
+    return violations
+
+
+def run_drc(obj: LayoutObject, include_latchup: bool = True) -> List[Violation]:
+    """Run every check; returns the combined violation list."""
+    violations: List[Violation] = []
+    violations.extend(check_widths(obj))
+    violations.extend(check_spacing(obj))
+    violations.extend(check_enclosures(obj))
+    violations.extend(check_extensions(obj))
+    violations.extend(check_areas(obj))
+    violations.extend(check_shorts(obj))
+    if include_latchup:
+        violations.extend(check_latchup(obj))
+    return violations

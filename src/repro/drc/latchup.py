@@ -1,0 +1,117 @@
+"""The latch-up rule check (Fig. 1).
+
+"This rule determines if temporary rectangles which are placed around the
+substrate contacts enclose all locos areas of MOS-transistors. ... If these
+rectangles do not enclose completely the other rectangles only the
+overlapping part is cut while the remaining part of the rectangle is still
+stored in the database.  If after examining all enclosing rectangles no parts
+of the solid rectangles are remaining, the latch-up rule is fulfilled."
+
+The subtraction kernel handling all 16 overlap cases lives in
+:mod:`repro.geometry.region`; this module drives it over a layout object.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..db import LayoutObject
+from ..geometry import Rect, subtract_many
+from ..tech import Technology
+from ..tech.layer import LayerKind
+from .violations import Violation
+
+#: Diffusion layers whose areas must be protected (active MOS regions).
+_DEFAULT_ACTIVE = ("locos", "pdiff", "ndiff")
+
+
+def temporary_rectangles(
+    obj: LayoutObject, contact_layer: str = "subcontact"
+) -> List[Rect]:
+    """The dashed temporary rectangles of Fig. 1.
+
+    One per substrate-contact rect, grown by the LATCHUP half-size stored in
+    the technology file ("The size of these temporary rectangles is specified
+    in the design rules").
+    """
+    half = obj.tech.latchup_half_size(contact_layer)
+    return [rect.grown(half) for rect in obj.rects_on(contact_layer)]
+
+
+def uncovered_active_area(
+    obj: LayoutObject,
+    contact_layer: str = "subcontact",
+    active_layers: Optional[Sequence[str]] = None,
+) -> List[Rect]:
+    """Active-area pieces not protected by any substrate contact.
+
+    Returns the remaining solid rectangles after cutting every temporary
+    rectangle; an empty list means the latch-up rule is fulfilled.
+    """
+    if active_layers is None:
+        active_layers = [
+            name for name in _DEFAULT_ACTIVE
+            if obj.tech.has_layer(name) and name != contact_layer
+        ]
+    solids = [
+        rect
+        for layer in active_layers
+        for rect in obj.rects_on(layer)
+    ]
+    temps = temporary_rectangles(obj, contact_layer)
+    return subtract_many(solids, temps)
+
+
+def check_latchup(
+    obj: LayoutObject,
+    contact_layer: str = "subcontact",
+    active_layers: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Latch-up violations: one per unprotected active-area remainder."""
+    if (
+        not obj.tech.has_layer(contact_layer)
+        or obj.tech.rules.latchup(contact_layer) is None
+    ):
+        return []
+    remainders = uncovered_active_area(obj, contact_layer, active_layers)
+    return [
+        Violation(
+            "latchup",
+            f"active area on {piece.layer!r} not enclosed by any"
+            f" {contact_layer!r} protection rectangle",
+            piece.center,
+            (piece,),
+        )
+        for piece in remainders
+    ]
+
+
+def insert_protection_contacts(
+    obj: LayoutObject,
+    contact_layer: str = "subcontact",
+    active_layers: Optional[Sequence[str]] = None,
+    net: str = "sub",
+) -> List[Rect]:
+    """Add substrate contacts until the latch-up rule is fulfilled.
+
+    "If not all active areas are enclosed additional substrate contacts have
+    to be inserted."  Contacts are placed at minimum size next to the centre
+    of each unprotected remainder, then the check is re-run; the loop is
+    bounded by the remainder count, which strictly decreases.
+    """
+    added: List[Rect] = []
+    width = obj.tech.min_width(contact_layer)
+    for _ in range(1000):
+        remainders = uncovered_active_area(obj, contact_layer, active_layers)
+        if not remainders:
+            break
+        worst = max(remainders, key=lambda piece: piece.area)
+        cx, cy = worst.center
+        half = width // 2
+        added.append(
+            obj.add_rect(
+                Rect(cx - half, cy - half, cx - half + width, cy - half + width,
+                     contact_layer, net)
+            )
+        )
+    return added

@@ -1,0 +1,34 @@
+"""Violation records produced by the design-rule checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geometry import Rect
+
+
+@dataclass
+class Violation:
+    """One design-rule violation.
+
+    ``kind`` is the rule family (width / spacing / enclosure / extension /
+    area / latchup); ``where`` is a representative location in dbu.
+    """
+
+    kind: str
+    message: str
+    where: Tuple[int, int]
+    rects: Tuple[Rect, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message} @ {self.where}"
+
+
+def format_report(violations: List[Violation]) -> str:
+    """Human-readable multi-line report ("an error message occurs")."""
+    if not violations:
+        return "DRC clean: no violations."
+    lines = [f"DRC: {len(violations)} violation(s)"]
+    lines.extend(f"  {violation}" for violation in violations)
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Geometry kernel: rectangles, directions, transforms, region algebra."""
+
+from .direction import EAST, NORTH, SOUTH, WEST, Axis, Direction
+from .polygon import decompose_rectilinear, outline_area
+from .rect import EdgeProperty, Point, Rect, bounding_box
+from .region import (
+    covered_by,
+    merge_touching,
+    overlap_classification,
+    subtract,
+    subtract_many,
+    union_area,
+)
+from .transform import ORIENTATIONS, Transform
+
+__all__ = [
+    "Axis",
+    "Direction",
+    "NORTH",
+    "SOUTH",
+    "EAST",
+    "WEST",
+    "EdgeProperty",
+    "Point",
+    "Rect",
+    "bounding_box",
+    "covered_by",
+    "merge_touching",
+    "overlap_classification",
+    "subtract",
+    "subtract_many",
+    "union_area",
+    "decompose_rectilinear",
+    "outline_area",
+    "ORIENTATIONS",
+    "Transform",
+]

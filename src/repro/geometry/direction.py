@@ -1,0 +1,97 @@
+"""Compass directions used throughout the environment.
+
+The paper's compaction calls are written as ``compact(polycon, SOUTH, "poly")``;
+this module defines the four compass directions with the vector arithmetic the
+compactor and primitives need.  NORTH is +y, EAST is +x.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Axis(enum.Enum):
+    """Coordinate axis; HORIZONTAL means motion along x."""
+
+    HORIZONTAL = "x"
+    VERTICAL = "y"
+
+    @property
+    def other(self) -> "Axis":
+        """Return the perpendicular axis."""
+        if self is Axis.HORIZONTAL:
+            return Axis.VERTICAL
+        return Axis.HORIZONTAL
+
+
+class Direction(enum.Enum):
+    """One of the four compass directions.
+
+    Members carry the unit vector of motion: compacting an object SOUTH moves
+    it toward negative y until it abuts the existing structure.
+    """
+
+    NORTH = (0, 1)
+    SOUTH = (0, -1)
+    EAST = (1, 0)
+    WEST = (-1, 0)
+
+    @property
+    def dx(self) -> int:
+        """x component of the unit vector."""
+        return self.value[0]
+
+    @property
+    def dy(self) -> int:
+        """y component of the unit vector."""
+        return self.value[1]
+
+    @property
+    def opposite(self) -> "Direction":
+        """Return the direction pointing the other way."""
+        return _OPPOSITE[self]
+
+    @property
+    def axis(self) -> Axis:
+        """Axis of motion for this direction."""
+        if self.dx:
+            return Axis.HORIZONTAL
+        return Axis.VERTICAL
+
+    @property
+    def is_positive(self) -> bool:
+        """True for NORTH and EAST (motion toward +coordinates)."""
+        return self.dx + self.dy > 0
+
+    @property
+    def perpendiculars(self) -> tuple["Direction", "Direction"]:
+        """The two directions orthogonal to this one."""
+        if self.axis is Axis.HORIZONTAL:
+            return (Direction.SOUTH, Direction.NORTH)
+        return (Direction.WEST, Direction.EAST)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Direction":
+        """Parse a direction from its (case-insensitive) name.
+
+        The PLDL interpreter uses this to resolve the bare words ``NORTH`` /
+        ``SOUTH`` / ``EAST`` / ``WEST`` appearing in module source code.
+        """
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown direction {name!r}") from None
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+#: Convenience aliases matching the paper's source-code examples.
+NORTH = Direction.NORTH
+SOUTH = Direction.SOUTH
+EAST = Direction.EAST
+WEST = Direction.WEST

@@ -1,0 +1,87 @@
+"""Rectilinear polygon decomposition into rectangles.
+
+"To keep the layout data structure efficient, polygons are converted into
+simple rectangular structures" (Sec. 2.1).  The environment never stores
+polygons; any rectilinear outline handed to it (e.g. from an imported cell) is
+sliced into horizontal slabs first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .rect import Rect
+
+Vertex = Tuple[int, int]
+
+
+def decompose_rectilinear(vertices: Sequence[Vertex], layer: str, net: str = None) -> List[Rect]:
+    """Slice a simple rectilinear polygon into horizontal slab rectangles.
+
+    *vertices* lists the polygon boundary in order (either orientation);
+    consecutive vertices must differ in exactly one coordinate.  The result is
+    a list of disjoint rectangles whose union is the polygon interior.
+
+    Raises ``ValueError`` for non-rectilinear or degenerate input.
+    """
+    if len(vertices) < 4:
+        raise ValueError("a rectilinear polygon needs at least 4 vertices")
+    pts = [tuple(v) for v in vertices]
+    if pts[0] == pts[-1]:
+        pts = pts[:-1]
+    for (x1, y1), (x2, y2) in zip(pts, pts[1:] + pts[:1]):
+        if (x1 != x2) == (y1 != y2):
+            raise ValueError(
+                f"edge ({x1},{y1})-({x2},{y2}) is not axis-parallel or is degenerate"
+            )
+
+    ys = sorted({y for _, y in pts})
+    rects: List[Rect] = []
+    for y_lo, y_hi in zip(ys, ys[1:]):
+        y_mid = (y_lo + y_hi) / 2.0
+        crossings = _vertical_crossings(pts, y_mid)
+        for x_lo, x_hi in zip(crossings[0::2], crossings[1::2]):
+            rects.append(Rect(x_lo, y_lo, x_hi, y_hi, layer, net))
+    return _coalesce_vertically(rects)
+
+
+def _vertical_crossings(pts: List[Vertex], y: float) -> List[int]:
+    """Sorted x coordinates of vertical edges crossing the horizontal line."""
+    xs: List[int] = []
+    for (x1, y1), (x2, y2) in zip(pts, pts[1:] + pts[:1]):
+        if x1 == x2 and min(y1, y2) < y < max(y1, y2):
+            xs.append(x1)
+    xs.sort()
+    if len(xs) % 2:
+        raise ValueError("polygon boundary is self-intersecting or not closed")
+    return xs
+
+
+def _coalesce_vertically(rects: List[Rect]) -> List[Rect]:
+    """Merge vertically adjacent slabs with identical x spans."""
+    rects = sorted(rects, key=lambda r: (r.x1, r.x2, r.y1))
+    out: List[Rect] = []
+    for rect in rects:
+        if (
+            out
+            and out[-1].x1 == rect.x1
+            and out[-1].x2 == rect.x2
+            and out[-1].y2 == rect.y1
+            and out[-1].layer == rect.layer
+            and out[-1].net == rect.net
+        ):
+            out[-1] = out[-1].merged(rect)
+        else:
+            out.append(rect)
+    return out
+
+
+def outline_area(vertices: Sequence[Vertex]) -> int:
+    """Area of a simple rectilinear polygon via the shoelace formula."""
+    pts = [tuple(v) for v in vertices]
+    if pts[0] == pts[-1]:
+        pts = pts[:-1]
+    doubled = 0
+    for (x1, y1), (x2, y2) in zip(pts, pts[1:] + pts[:1]):
+        doubled += x1 * y2 - x2 * y1
+    return abs(doubled) // 2

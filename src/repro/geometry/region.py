@@ -1,0 +1,175 @@
+"""Rectangle-set algebra: subtraction, union area, coverage.
+
+The subtraction kernel implements the mechanism of the paper's latch-up check
+(Fig. 1): a temporary rectangle is subtracted from a solid rectangle; "only
+the overlapping part is cut while the remaining part of the rectangle is still
+stored".  Fig. 1 enumerates the 16 cases — four horizontal overlap classes
+crossed with four vertical overlap classes — and :func:`subtract` produces the
+correct remainder (zero to four pieces) for every one of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .rect import Rect
+
+
+def subtract(solid: Rect, cutter: Rect) -> List[Rect]:
+    """Return the parts of *solid* not covered by *cutter*.
+
+    The remainder is a list of zero to four disjoint rectangles on the layer
+    and net of *solid*.  This is the workhorse of the latch-up rule: each
+    remaining piece "is converted to single rectangles that have to be
+    enclosed by other temporary rectangles to fulfill the rule".
+    """
+    overlap = solid.intersection(cutter)
+    if overlap is None:
+        return [solid.copy()]
+
+    pieces: List[Rect] = []
+    # Slab below the overlap (full width of solid).
+    if solid.y1 < overlap.y1:
+        pieces.append(Rect(solid.x1, solid.y1, solid.x2, overlap.y1, solid.layer, solid.net))
+    # Slab above the overlap (full width of solid).
+    if overlap.y2 < solid.y2:
+        pieces.append(Rect(solid.x1, overlap.y2, solid.x2, solid.y2, solid.layer, solid.net))
+    # Left and right slivers at the overlap's vertical span.
+    if solid.x1 < overlap.x1:
+        pieces.append(Rect(solid.x1, overlap.y1, overlap.x1, overlap.y2, solid.layer, solid.net))
+    if overlap.x2 < solid.x2:
+        pieces.append(Rect(overlap.x2, overlap.y1, solid.x2, overlap.y2, solid.layer, solid.net))
+    return pieces
+
+
+def subtract_many(solids: Iterable[Rect], cutters: Sequence[Rect]) -> List[Rect]:
+    """Subtract every cutter from every solid, keeping all remainders.
+
+    This is exactly the latch-up examination loop: after examining all
+    enclosing (temporary) rectangles, an empty result means the rule holds.
+    """
+    remaining: List[Rect] = [s.copy() for s in solids if not s.is_empty]
+    for cutter in cutters:
+        next_remaining: List[Rect] = []
+        for piece in remaining:
+            next_remaining.extend(subtract(piece, cutter))
+        remaining = [r for r in next_remaining if not r.is_empty]
+        if not remaining:
+            break
+    return remaining
+
+
+def covered_by(solids: Iterable[Rect], covers: Sequence[Rect]) -> bool:
+    """True when the union of *covers* completely contains every solid."""
+    return not subtract_many(solids, covers)
+
+
+def overlap_classification(solid: Rect, cutter: Rect) -> Tuple[int, int]:
+    """Classify the overlap the way Fig. 1 tabulates it.
+
+    Returns ``(horizontal_case, vertical_case)``, each in 0..3:
+
+    ======  ================================================================
+    case    meaning along the axis
+    ======  ================================================================
+    0       cutter covers the solid's full span
+    1       cutter covers the low end, solid sticks out on the high side
+    2       cutter covers the high end, solid sticks out on the low side
+    3       cutter is interior: solid sticks out on both sides
+    ======  ================================================================
+
+    The 4×4 grid of these cases is the paper's Fig. 1.  Classification is only
+    defined when the rectangles actually overlap; ``ValueError`` otherwise.
+    """
+    if solid.intersection(cutter) is None:
+        raise ValueError("rectangles do not overlap; Fig. 1 classifies overlaps only")
+
+    def axis_case(s1: int, s2: int, c1: int, c2: int) -> int:
+        covers_low = c1 <= s1
+        covers_high = c2 >= s2
+        if covers_low and covers_high:
+            return 0
+        if covers_low:
+            return 1
+        if covers_high:
+            return 2
+        return 3
+
+    return (
+        axis_case(solid.x1, solid.x2, cutter.x1, cutter.x2),
+        axis_case(solid.y1, solid.y2, cutter.y1, cutter.y2),
+    )
+
+
+def union_area(rects: Iterable[Rect]) -> int:
+    """Area of the union of a rect collection (overlaps counted once).
+
+    Implemented as a coordinate-compressed sweep over x slabs; adequate for
+    module-sized rect counts (the environment keeps modules small by design).
+    """
+    boxes = [r for r in rects if not r.is_empty]
+    if not boxes:
+        return 0
+    xs = sorted({x for r in boxes for x in (r.x1, r.x2)})
+    total = 0
+    for left, right in zip(xs, xs[1:]):
+        if left == right:
+            continue
+        spans = sorted(
+            (r.y1, r.y2) for r in boxes if r.x1 <= left and r.x2 >= right
+        )
+        covered = 0
+        cur_lo: Optional[int] = None
+        cur_hi: Optional[int] = None
+        for lo, hi in spans:
+            if cur_hi is None or lo > cur_hi:
+                if cur_hi is not None:
+                    covered += cur_hi - cur_lo  # type: ignore[operator]
+                cur_lo, cur_hi = lo, hi
+            else:
+                cur_hi = max(cur_hi, hi)
+        if cur_hi is not None:
+            covered += cur_hi - cur_lo  # type: ignore[operator]
+        total += covered * (right - left)
+    return total
+
+
+def merge_touching(rects: Sequence[Rect]) -> List[Rect]:
+    """Greedily merge same-layer, same-net rects whose union is a rectangle.
+
+    Two rectangles merge when they share layer and net, touch or overlap, and
+    their bounding box equals their union (i.e. they are aligned slabs).  The
+    compactor uses this to realise the paper's "rectangles on the same
+    potential are merged" auto-connection feature.
+    """
+    out: List[Rect] = [r.copy() for r in rects]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out)):
+            for j in range(i + 1, len(out)):
+                a, b = out[i], out[j]
+                if a.layer != b.layer or a.net != b.net:
+                    continue
+                if not a.touches_or_intersects(b):
+                    continue
+                if not _union_is_rect(a, b):
+                    continue
+                out[i] = a.merged(b)
+                del out[j]
+                changed = True
+                break
+            if changed:
+                break
+    return out
+
+
+def _union_is_rect(a: Rect, b: Rect) -> bool:
+    """True when a ∪ b is itself a rectangle (aligned and touching)."""
+    if a.contains(b) or b.contains(a):
+        return True
+    if a.x1 == b.x1 and a.x2 == b.x2:
+        return a.y1 <= b.y2 and b.y1 <= a.y2
+    if a.y1 == b.y1 and a.y2 == b.y2:
+        return a.x1 <= b.x2 and b.x1 <= a.x2
+    return False

@@ -1,0 +1,136 @@
+"""Orthogonal transforms (translation, mirroring, 90°-multiple rotation).
+
+Module generators compose matched structures by mirroring and rotating
+sub-objects — e.g. the symmetric current mirror of block B or the
+cross-coupled arrangements of blocks C and E.  Only the eight orthogonal
+orientations are supported, matching the rectangle-only database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .direction import Axis, Direction
+from .rect import Rect
+
+#: The eight orthogonal orientations as (rotation quarter-turns, mirror-x flag).
+ORIENTATIONS = tuple((rot, mir) for mir in (False, True) for rot in range(4))
+
+
+@dataclass(frozen=True)
+class Transform:
+    """Mirror-then-rotate-then-translate orthogonal transform.
+
+    Application order: optional mirror about the y axis (x → −x), then
+    ``rotation`` quarter-turns counter-clockwise about the origin, then a
+    translation by (dx, dy).
+    """
+
+    dx: int = 0
+    dy: int = 0
+    rotation: int = 0
+    mirror_x: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rotation", self.rotation % 4)
+
+    def apply_point(self, x: int, y: int) -> Tuple[int, int]:
+        """Transform a single point."""
+        if self.mirror_x:
+            x = -x
+        for _ in range(self.rotation):
+            x, y = -y, x
+        return (x + self.dx, y + self.dy)
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Return a transformed copy of *rect* (edge properties remapped).
+
+        Per-edge movement bounds (min/max coordinates) are transformed like
+        coordinates: a mirrored edge's inward-limit swaps between min and
+        max as the coordinate sense flips.
+        """
+        ax, ay = self.apply_point(rect.x1, rect.y1)
+        bx, by = self.apply_point(rect.x2, rect.y2)
+        out = Rect(
+            min(ax, bx),
+            min(ay, by),
+            max(ax, bx),
+            max(ay, by),
+            rect.layer,
+            rect.net,
+            rect.no_overlap,
+        )
+        for direction in Direction:
+            prop = rect.edge(direction).copy()
+            image = self.apply_direction(direction)
+            bounds = []
+            for value in (prop.min_coord, prop.max_coord):
+                if value is None:
+                    bounds.append(None)
+                    continue
+                if direction.axis is Axis.HORIZONTAL:
+                    mapped = self.apply_point(value, 0)
+                else:
+                    mapped = self.apply_point(0, value)
+                bounds.append(
+                    mapped[0] if image.axis is Axis.HORIZONTAL else mapped[1]
+                )
+            lo, hi = bounds
+            if lo is not None and hi is not None and lo > hi:
+                lo, hi = hi, lo
+            elif lo is not None and hi is None and self._flips_axis_sense(direction, image):
+                lo, hi = None, lo
+            elif hi is not None and lo is None and self._flips_axis_sense(direction, image):
+                lo, hi = hi, None
+            prop.min_coord, prop.max_coord = lo, hi
+            out._edges[image] = prop
+        return out
+
+    def _flips_axis_sense(self, direction: "Direction", image: "Direction") -> bool:
+        """True when the transform reverses the coordinate sense of the edge."""
+        return direction.is_positive != image.is_positive
+
+    def apply_direction(self, direction: Direction) -> Direction:
+        """Image of a compass direction under this transform."""
+        dx, dy = direction.dx, direction.dy
+        if self.mirror_x:
+            dx = -dx
+        for _ in range(self.rotation):
+            dx, dy = -dy, dx
+        for candidate in Direction:
+            if candidate.dx == dx and candidate.dy == dy:
+                return candidate
+        raise AssertionError("unreachable: direction image must be a compass direction")
+
+    def then(self, other: "Transform") -> "Transform":
+        """Composition: first self, then *other*."""
+        ox, oy = other.apply_point(self.dx, self.dy)
+        rotation = other.rotation + (-self.rotation if other.mirror_x else self.rotation)
+        return Transform(
+            dx=ox,
+            dy=oy,
+            rotation=rotation % 4,
+            mirror_x=self.mirror_x != other.mirror_x,
+        )
+
+    @classmethod
+    def translation(cls, dx: int, dy: int) -> "Transform":
+        """Pure translation."""
+        return cls(dx=dx, dy=dy)
+
+    @classmethod
+    def mirror_about_x(cls, axis_y: int = 0) -> "Transform":
+        """Mirror about the horizontal line y = axis_y (y → 2·axis_y − y)."""
+        # mirror_x + two quarter turns maps (x, y) -> (x, -y).
+        return cls(dx=0, dy=2 * axis_y, rotation=2, mirror_x=True)
+
+    @classmethod
+    def mirror_about_y(cls, axis_x: int = 0) -> "Transform":
+        """Mirror about the vertical line x = axis_x (x → 2·axis_x − x)."""
+        return cls(dx=2 * axis_x, dy=0, rotation=0, mirror_x=True)
+
+    @classmethod
+    def rotate180(cls, cx: int = 0, cy: int = 0) -> "Transform":
+        """Rotate 180° about (cx, cy)."""
+        return cls(dx=2 * cx, dy=2 * cy, rotation=2, mirror_x=False)

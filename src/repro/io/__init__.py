@@ -1,0 +1,22 @@
+"""Layout IO: GDSII stream, CIF, SVG rendering, text dumps."""
+
+from .cif import dumps_cif, loads_cif, read_cif, write_cif
+from .gds import read_gds, write_gds
+from .svg import render_legend, render_svg, write_svg
+from .textdump import dump_object, dumps_object, load_object, loads_object
+
+__all__ = [
+    "dumps_cif",
+    "loads_cif",
+    "read_cif",
+    "write_cif",
+    "read_gds",
+    "write_gds",
+    "render_legend",
+    "render_svg",
+    "write_svg",
+    "dump_object",
+    "dumps_object",
+    "load_object",
+    "loads_object",
+]

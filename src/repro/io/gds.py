@@ -1,0 +1,206 @@
+"""Minimal GDSII stream writer/reader for the rectangle database.
+
+Emits one structure per :class:`LayoutObject` with a BOUNDARY element per
+rectangle and a TEXT element per label.  The reader parses exactly what the
+writer emits (rectangular boundaries), which is sufficient for round-trip
+tests and for handing layouts to external viewers.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db import LayoutObject
+from ..geometry import Rect
+from ..tech import Technology
+
+# Record types
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_ENDLIB = 0x0400
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_TEXT = 0x0C00
+_TEXTTYPE = 0x1602
+_STRING = 0x1906
+
+#: Fixed timestamp (year, month, day, hour, minute, second) — deterministic
+#: output beats mtime fidelity for a layout generator.
+_TIMESTAMP = (1996, 3, 11, 0, 0, 0)
+
+
+def _record(rectype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    return struct.pack(">HH", length, rectype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii", "replace")
+    if len(data) % 2:
+        data += b"\0"
+    return data
+
+
+def _gds_real(value: float) -> bytes:
+    """Encode an 8-byte excess-64 base-16 GDSII real."""
+    if value == 0:
+        return b"\0" * 8
+    sign = 0x80 if value < 0 else 0
+    value = abs(value)
+    exponent = 64
+    while value >= 1:
+        value /= 16.0
+        exponent += 1
+    while value < 1 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B", sign | exponent) + mantissa.to_bytes(7, "big")
+
+
+def _decode_real(data: bytes) -> float:
+    first = data[0]
+    sign = -1.0 if first & 0x80 else 1.0
+    exponent = (first & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0 ** exponent)
+
+
+def write_gds(
+    objects: Union[LayoutObject, Sequence[LayoutObject]],
+    path: Union[str, Path],
+    library: str = "REPRO",
+) -> None:
+    """Write one or more layout objects to a GDSII file."""
+    if isinstance(objects, LayoutObject):
+        objects = [objects]
+    if not objects:
+        raise ValueError("nothing to write")
+    tech = objects[0].tech
+
+    out = bytearray()
+    out += _record(_HEADER, struct.pack(">h", 600))
+    out += _record(_BGNLIB, struct.pack(">12h", *(_TIMESTAMP * 2)))
+    out += _record(_LIBNAME, _ascii(library))
+    user_unit = 1.0 / tech.dbu_per_micron
+    meters_per_dbu = 1e-6 / tech.dbu_per_micron
+    out += _record(_UNITS, _gds_real(user_unit) + _gds_real(meters_per_dbu))
+
+    for obj in objects:
+        out += _record(_BGNSTR, struct.pack(">12h", *(_TIMESTAMP * 2)))
+        out += _record(_STRNAME, _ascii(obj.name))
+        for rect in obj.nonempty_rects:
+            layer = tech.layer(rect.layer)
+            out += _record(_BOUNDARY)
+            out += _record(_LAYER, struct.pack(">h", layer.gds_number))
+            out += _record(_DATATYPE, struct.pack(">h", layer.gds_datatype))
+            xy = [
+                rect.x1, rect.y1,
+                rect.x2, rect.y1,
+                rect.x2, rect.y2,
+                rect.x1, rect.y2,
+                rect.x1, rect.y1,
+            ]
+            out += _record(_XY, struct.pack(f">{len(xy)}i", *xy))
+            out += _record(_ENDEL)
+        for label in obj.labels:
+            layer = tech.layer(label.layer)
+            out += _record(_TEXT)
+            out += _record(_LAYER, struct.pack(">h", layer.gds_number))
+            out += _record(_TEXTTYPE, struct.pack(">h", 0))
+            out += _record(_XY, struct.pack(">2i", label.x, label.y))
+            out += _record(_STRING, _ascii(label.text))
+            out += _record(_ENDEL)
+        out += _record(_ENDSTR)
+    out += _record(_ENDLIB)
+    Path(path).write_bytes(bytes(out))
+
+
+def read_gds(
+    path: Union[str, Path], tech: Technology
+) -> List[LayoutObject]:
+    """Read a GDSII file produced by :func:`write_gds` back into objects.
+
+    Boundaries must be axis-aligned rectangles (5-point closed outlines);
+    anything else raises ``ValueError``.
+    """
+    data = Path(path).read_bytes()
+    by_number: Dict[int, str] = {
+        layer.gds_number: layer.name for layer in tech.layers
+    }
+
+    objects: List[LayoutObject] = []
+    current: Optional[LayoutObject] = None
+    element: Optional[str] = None
+    element_layer: Optional[int] = None
+    element_xy: List[int] = []
+    element_text = ""
+
+    index = 0
+    while index < len(data):
+        length, rectype = struct.unpack_from(">HH", data, index)
+        if length < 4:
+            raise ValueError("corrupt GDS record")
+        payload = data[index + 4: index + length]
+        index += length
+
+        if rectype == _BGNSTR:
+            current = None
+        elif rectype == _STRNAME:
+            current = LayoutObject(payload.rstrip(b"\0").decode("ascii"), tech)
+            objects.append(current)
+        elif rectype == _BOUNDARY:
+            element, element_layer, element_xy = "boundary", None, []
+        elif rectype == _TEXT:
+            element, element_layer, element_xy, element_text = "text", None, [], ""
+        elif rectype == _LAYER:
+            element_layer = struct.unpack(">h", payload)[0]
+        elif rectype == _XY:
+            count = len(payload) // 4
+            element_xy = list(struct.unpack(f">{count}i", payload))
+        elif rectype == _STRING:
+            element_text = payload.rstrip(b"\0").decode("ascii")
+        elif rectype == _ENDEL:
+            if current is None or element_layer is None:
+                raise ValueError("element outside structure")
+            layer_name = by_number.get(element_layer)
+            if layer_name is None:
+                raise ValueError(f"unknown GDS layer {element_layer}")
+            if element == "boundary":
+                for rect in _xy_to_rects(element_xy, layer_name):
+                    current.add_rect(rect)
+            elif element == "text":
+                current.add_label(element_text, element_xy[0], element_xy[1], layer_name)
+            element = None
+        elif rectype == _ENDLIB:
+            break
+    return objects
+
+
+def _xy_to_rects(xy: List[int], layer: str) -> List[Rect]:
+    """Convert a boundary outline to rectangles.
+
+    Rectangular outlines map 1:1; any other rectilinear outline is sliced by
+    :func:`repro.geometry.decompose_rectilinear` — the database "converts
+    polygons into simple rectangular structures" (Sec. 2.1).
+    """
+    points = list(zip(xy[0::2], xy[1::2]))
+    if points and points[0] == points[-1]:
+        points = points[:-1]
+    xs = {x for x, _ in points}
+    ys = {y for _, y in points}
+    if len(points) == 4 and len(xs) == 2 and len(ys) == 2:
+        return [Rect(min(xs), min(ys), max(xs), max(ys), layer)]
+    from ..geometry import decompose_rectilinear
+
+    return decompose_rectilinear(points, layer)

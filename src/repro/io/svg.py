@@ -1,0 +1,139 @@
+"""SVG rendering with per-layer fill patterns (Fig. 4).
+
+The paper explains its layer legend in Fig. 4; each technology layer carries
+a ``fill_pattern`` tag that maps to an SVG ``<pattern>`` here, so the
+rendered module looks like the paper's figures.  The renderer also provides
+the "graphical view of the module" half of the two-window programming
+environment (the text half being the source itself).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..db import LayoutObject
+from ..tech import Technology
+
+_PATTERN_BODIES: Dict[str, str] = {
+    "hatch-left": '<path d="M0,8 L8,0" stroke="{color}" stroke-width="1.2"/>',
+    "hatch-right": '<path d="M0,0 L8,8" stroke="{color}" stroke-width="1.2"/>',
+    "cross-hatch": (
+        '<path d="M0,8 L8,0" stroke="{color}" stroke-width="1"/>'
+        '<path d="M0,0 L8,8" stroke="{color}" stroke-width="1"/>'
+    ),
+    "dots": '<circle cx="4" cy="4" r="1.3" fill="{color}"/>',
+    "dense-dots": (
+        '<circle cx="2" cy="2" r="1.1" fill="{color}"/>'
+        '<circle cx="6" cy="6" r="1.1" fill="{color}"/>'
+    ),
+    "horizontal": '<path d="M0,4 L8,4" stroke="{color}" stroke-width="1.2"/>',
+    "vertical": '<path d="M4,0 L4,8" stroke="{color}" stroke-width="1.2"/>',
+}
+
+
+def _pattern_defs(tech: Technology, layers: Iterable[str]) -> str:
+    defs: List[str] = ["<defs>"]
+    for name in layers:
+        layer = tech.layer(name)
+        if layer.fill_pattern == "solid":
+            continue
+        body = _PATTERN_BODIES[layer.fill_pattern].format(color=layer.color)
+        defs.append(
+            f'<pattern id="pat-{layer.name}" width="8" height="8"'
+            f' patternUnits="userSpaceOnUse">{body}</pattern>'
+        )
+    defs.append("</defs>")
+    return "".join(defs)
+
+
+def _fill_for(tech: Technology, layer_name: str) -> str:
+    layer = tech.layer(layer_name)
+    if layer.fill_pattern == "solid":
+        return f'fill="{layer.color}" fill-opacity="0.55"'
+    return f'fill="url(#pat-{layer.name})"'
+
+
+def render_svg(
+    obj: LayoutObject,
+    scale: float = 0.02,
+    margin: int = 2000,
+    show_labels: bool = True,
+) -> str:
+    """Render a layout object as an SVG document string.
+
+    ``scale`` maps database units to SVG pixels; layers draw in technology
+    registration order (wells below, metals on top).
+    """
+    tech = obj.tech
+    box = obj.bbox()
+    if box is None:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+    x0, y0 = box.x1 - margin, box.y1 - margin
+    width = (box.width + 2 * margin) * scale
+    height = (box.height + 2 * margin) * scale
+
+    order = {layer.name: index for index, layer in enumerate(tech.layers)}
+    rects = sorted(obj.nonempty_rects, key=lambda r: order.get(r.layer, 99))
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}"'
+        f' height="{height:.0f}" viewBox="0 0 {width:.2f} {height:.2f}">',
+        _pattern_defs(tech, sorted({r.layer for r in rects})),
+        f'<rect width="{width:.2f}" height="{height:.2f}" fill="white"/>',
+    ]
+    for rect in rects:
+        layer = tech.layer(rect.layer)
+        x = (rect.x1 - x0) * scale
+        # SVG y axis points down; flip about the box.
+        y = height - (rect.y2 - y0) * scale
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{rect.width * scale:.2f}"'
+            f' height="{rect.height * scale:.2f}" {_fill_for(tech, rect.layer)}'
+            f' stroke="{layer.color}" stroke-width="0.6">'
+            f"<title>{rect.layer}"
+            + (f" net={rect.net}" if rect.net else "")
+            + f" ({rect.x1},{rect.y1})-({rect.x2},{rect.y2})</title></rect>"
+        )
+    if show_labels:
+        for label in obj.labels:
+            x = (label.x - x0) * scale
+            y = height - (label.y - y0) * scale
+            parts.append(
+                f'<text x="{x:.2f}" y="{y:.2f}" font-size="8"'
+                f' fill="black">{label.text}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_legend(tech: Technology, swatch: int = 48) -> str:
+    """Render the Fig. 4 layer legend: one patterned swatch per layer."""
+    rows = len(tech.layers)
+    height = rows * (swatch // 2 + 10) + 10
+    width = swatch + 180
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}">',
+        _pattern_defs(tech, [layer.name for layer in tech.layers]),
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    y = 10
+    for layer in tech.layers:
+        parts.append(
+            f'<rect x="10" y="{y}" width="{swatch}" height="{swatch // 2}"'
+            f" {_fill_for(tech, layer.name)}"
+            f' stroke="{layer.color}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{swatch + 20}" y="{y + swatch // 4 + 4}" font-size="12"'
+            f' fill="black">{layer.name} ({layer.kind.value},'
+            f" {layer.fill_pattern})</text>"
+        )
+        y += swatch // 2 + 10
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_svg(obj: LayoutObject, path: Union[str, Path], **kwargs) -> None:
+    """Render and write an SVG file."""
+    Path(path).write_text(render_svg(obj, **kwargs), encoding="utf-8")

@@ -1,0 +1,80 @@
+"""Line-based text serialization of layout objects.
+
+A deterministic, diff-friendly dump used by golden tests and for quick
+inspection::
+
+    OBJECT DiffPair_0 TECH generic_bicmos_1u
+    RECT poly -500 -6000 500 6000 NET g1
+    RECT pdiff -3000 -5000 3000 5000
+    LABEL out 0 0 metal1
+    ENDOBJECT
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..db import LayoutObject
+from ..geometry import Rect
+from ..tech import Technology
+
+
+def dumps_object(obj: LayoutObject) -> str:
+    """Serialise one object (rects sorted for determinism)."""
+    lines: List[str] = [f"OBJECT {obj.name} TECH {obj.tech.name}"]
+    for rect in sorted(
+        obj.nonempty_rects, key=lambda r: (r.layer, r.x1, r.y1, r.x2, r.y2, r.net or "")
+    ):
+        line = f"RECT {rect.layer} {rect.x1} {rect.y1} {rect.x2} {rect.y2}"
+        if rect.net:
+            line += f" NET {rect.net}"
+        lines.append(line)
+    for label in obj.labels:
+        lines.append(f"LABEL {label.text} {label.x} {label.y} {label.layer}")
+    lines.append("ENDOBJECT")
+    return "\n".join(lines) + "\n"
+
+
+def loads_object(text: str, tech: Technology) -> LayoutObject:
+    """Parse a dump produced by :func:`dumps_object`."""
+    obj: Optional[LayoutObject] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == "OBJECT":
+            obj = LayoutObject(tokens[1], tech)
+        elif keyword == "RECT":
+            if obj is None:
+                raise ValueError(f"line {lineno}: RECT before OBJECT")
+            net = tokens[7] if len(tokens) > 6 and tokens[6] == "NET" else None
+            obj.add_rect(
+                Rect(
+                    int(tokens[2]), int(tokens[3]), int(tokens[4]), int(tokens[5]),
+                    tokens[1], net,
+                )
+            )
+        elif keyword == "LABEL":
+            if obj is None:
+                raise ValueError(f"line {lineno}: LABEL before OBJECT")
+            obj.add_label(tokens[1], int(tokens[2]), int(tokens[3]), tokens[4])
+        elif keyword == "ENDOBJECT":
+            break
+        else:
+            raise ValueError(f"line {lineno}: unknown keyword {keyword!r}")
+    if obj is None:
+        raise ValueError("no OBJECT found")
+    return obj
+
+
+def dump_object(obj: LayoutObject, path: Union[str, Path]) -> None:
+    """Write a text dump to disk."""
+    Path(path).write_text(dumps_object(obj), encoding="utf-8")
+
+
+def load_object(path: Union[str, Path], tech: Technology) -> LayoutObject:
+    """Read a text dump from disk."""
+    return loads_object(Path(path).read_text(encoding="utf-8"), tech)

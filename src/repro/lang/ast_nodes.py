@@ -1,0 +1,173 @@
+"""Abstract syntax tree of the procedural layout description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    """Base AST node; every node records its source line."""
+
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass
+class Number(Node):
+    """Numeric literal; geometry contexts interpret it in microns."""
+
+    value: float
+
+
+@dataclass
+class String(Node):
+    """String literal (layer names, net names)."""
+
+    value: str
+
+
+@dataclass
+class Boolean(Node):
+    """TRUE / FALSE literal."""
+
+    value: bool
+
+
+@dataclass
+class Nil(Node):
+    """The NIL literal — an explicitly omitted optional value."""
+
+
+@dataclass
+class Name(Node):
+    """Variable / parameter / entity reference."""
+
+    ident: str
+
+
+@dataclass
+class Attribute(Node):
+    """Property access, e.g. ``obj.width`` (micron-valued metrics)."""
+
+    value: "Expr"
+    attr: str
+
+
+@dataclass
+class Unary(Node):
+    """Unary operation: ``-`` or ``NOT``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass
+class Binary(Node):
+    """Binary arithmetic / comparison / logic."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Call(Node):
+    """Function or entity call with positional and keyword arguments."""
+
+    func: str
+    args: List["Expr"] = field(default_factory=list)
+    kwargs: List[Tuple[str, "Expr"]] = field(default_factory=list)
+
+
+Expr = Union[Number, String, Boolean, Nil, Name, Attribute, Unary, Binary, Call]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass
+class Assign(Node):
+    """``name = expr``."""
+
+    target: str
+    value: Expr
+
+
+@dataclass
+class ExprStatement(Node):
+    """Bare call evaluated for its effect (INBOX, compact, ...)."""
+
+    value: Expr
+
+
+@dataclass
+class If(Node):
+    """IF / ELSE / ENDIF conditional."""
+
+    condition: Expr
+    then_body: List["Statement"] = field(default_factory=list)
+    else_body: List["Statement"] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    """``FOR i = a TO b [STEP s]`` inclusive counting loop."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Optional[Expr] = None
+    body: List["Statement"] = field(default_factory=list)
+
+
+@dataclass
+class Alt(Node):
+    """ALT / ELSEALT / ENDALT backtracking alternatives.
+
+    Branches are tried in order; a design-rule failure rolls the structure
+    back and moves on to the next branch (Sec. 2.1 backtracking).
+    """
+
+    branches: List[List["Statement"]] = field(default_factory=list)
+
+
+Statement = Union[Assign, ExprStatement, If, For, Alt]
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+@dataclass
+class Param(Node):
+    """Entity parameter; ``optional`` marks the angle-bracket form ``<W>``."""
+
+    name: str
+    optional: bool
+
+
+@dataclass
+class Entity(Node):
+    """An ``ENT`` declaration: header plus body statements."""
+
+    name: str
+    params: List[Param] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A parsed source file: top-level statements plus entity declarations."""
+
+    statements: List[Statement] = field(default_factory=list)
+    entities: List[Entity] = field(default_factory=list)
+
+    def entity(self, name: str) -> Entity:
+        """Look up a declared entity by name."""
+        for entity in self.entities:
+            if entity.name == name:
+                return entity
+        raise KeyError(name)

@@ -1,0 +1,27 @@
+"""Errors raised by the PLDL frontend and interpreter."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PldlError(Exception):
+    """Base class for language errors; carries a source location."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(PldlError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(PldlError):
+    """Source does not match the grammar."""
+
+
+class EvalError(PldlError):
+    """Runtime error during interpretation (bad types, unknown names...)."""

@@ -1,0 +1,723 @@
+"""Tree-walking interpreter for the PLDL.
+
+"The implemented language interpreter evaluates and fulfills the design rules
+automatically" (Sec. 2.1): every geometry builtin delegates to the
+design-rule-driven primitives, and a rule that cannot be fulfilled surfaces
+as :class:`~repro.tech.rules.RuleError` — which the ``ALT`` statement catches
+to backtrack between topology variants.
+
+Conventions:
+
+* numeric values are **microns** (the technology converts to database units
+  at the primitive boundary);
+* an entity call builds and returns a fresh :class:`LayoutObject`;
+* geometry builtins implicitly target the innermost entity under
+  construction, exactly like the paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction
+from ..primitives import angle_adaptor, around, array, inbox, ring, tworects
+from ..route import via_stack, wire
+from ..tech import RuleError, Technology
+from . import ast_nodes as ast
+from .errors import EvalError
+from .parser import parse
+
+#: Statement-trace callback: (line number, entity frame object or None).
+TraceHook = Callable[[int, Optional[LayoutObject]], None]
+
+#: Maximum entity-call nesting — a recursive module definition would
+#: otherwise exhaust the Python stack with an unhelpful error.
+MAX_CALL_DEPTH = 64
+
+
+class Frame:
+    """One entity invocation: its variables and structure under construction."""
+
+    def __init__(self, name: str, obj: Optional[LayoutObject]) -> None:
+        self.name = name
+        self.obj = obj
+        self.vars: Dict[str, Any] = {}
+
+
+class Interpreter:
+    """Executes PLDL programs against a technology."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        compactor: Optional[Compactor] = None,
+        trace: Optional[TraceHook] = None,
+    ) -> None:
+        self.tech = tech
+        self.compactor = compactor if compactor is not None else Compactor()
+        self.trace = trace
+        self.entities: Dict[str, ast.Entity] = {}
+        self.globals = Frame("<global>", None)
+        self._counters: Dict[str, int] = {}
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def load(self, source: str) -> ast.Program:
+        """Parse *source* and register its entities (no execution)."""
+        program = parse(source)
+        for entity in program.entities:
+            self.entities[entity.name] = entity
+        return program
+
+    def run(self, source: str) -> Dict[str, Any]:
+        """Load *source*, execute its top-level statements, return globals."""
+        program = self.load(source)
+        for statement in program.statements:
+            self._exec(statement, self.globals)
+        return self.globals.vars
+
+    def call(self, entity_name: str, **kwargs: Any) -> LayoutObject:
+        """Invoke a loaded entity from Python (dimensions in microns)."""
+        entity = self.entities.get(entity_name)
+        if entity is None:
+            raise EvalError(f"unknown entity {entity_name!r}")
+        return self._call_entity(entity, [], list(kwargs.items()), line=entity.line)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _exec(self, statement: ast.Statement, frame: Frame) -> None:
+        if isinstance(statement, ast.Assign):
+            frame.vars[statement.target] = self._eval(statement.value, frame)
+        elif isinstance(statement, ast.ExprStatement):
+            self._eval(statement.value, frame)
+        elif isinstance(statement, ast.If):
+            branch = (
+                statement.then_body
+                if self._truthy(self._eval(statement.condition, frame))
+                else statement.else_body
+            )
+            for inner in branch:
+                self._exec(inner, frame)
+        elif isinstance(statement, ast.For):
+            self._exec_for(statement, frame)
+        elif isinstance(statement, ast.Alt):
+            self._exec_alt(statement, frame)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise EvalError(f"unknown statement {statement!r}", statement.line)
+        if self.trace is not None:
+            self.trace(statement.line, frame.obj)
+
+    def _exec_for(self, statement: ast.For, frame: Frame) -> None:
+        start = self._number(self._eval(statement.start, frame), statement.line)
+        stop = self._number(self._eval(statement.stop, frame), statement.line)
+        step = (
+            self._number(self._eval(statement.step, frame), statement.line)
+            if statement.step is not None
+            else 1.0
+        )
+        if step == 0:
+            raise EvalError("FOR step must not be zero", statement.line)
+        value = start
+        # Inclusive bounds, tolerant of float accumulation.
+        epsilon = abs(step) * 1e-9
+        while (step > 0 and value <= stop + epsilon) or (
+            step < 0 and value >= stop - epsilon
+        ):
+            frame.vars[statement.var] = value
+            for inner in statement.body:
+                self._exec(inner, frame)
+            value += step
+
+    def _exec_alt(self, statement: ast.Alt, frame: Frame) -> None:
+        """Backtracking: try branches until one satisfies all design rules."""
+        last_error: Optional[RuleError] = None
+        for branch in statement.branches:
+            snapshot = self._snapshot(frame)
+            try:
+                for inner in branch:
+                    self._exec(inner, frame)
+                return
+            except RuleError as error:
+                last_error = error
+                self._restore(frame, snapshot)
+        raise RuleError(
+            f"line {statement.line}: all ALT branches failed"
+            + (f" (last: {last_error})" if last_error else "")
+        )
+
+    def _snapshot(self, frame: Frame) -> Tuple[Optional[LayoutObject], Dict[str, Any]]:
+        obj_copy = frame.obj.copy() if frame.obj is not None else None
+        vars_copy = {
+            key: value.copy() if isinstance(value, LayoutObject) else value
+            for key, value in frame.vars.items()
+        }
+        return (obj_copy, vars_copy)
+
+    def _restore(
+        self, frame: Frame, snapshot: Tuple[Optional[LayoutObject], Dict[str, Any]]
+    ) -> None:
+        obj_copy, vars_copy = snapshot
+        if frame.obj is not None and obj_copy is not None:
+            # Restore in place so outer references stay valid.
+            frame.obj.rects = obj_copy.rects
+            frame.obj.links = obj_copy.links
+            frame.obj.labels = obj_copy.labels
+        frame.vars.clear()
+        frame.vars.update(vars_copy)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _eval(self, expr: ast.Expr, frame: Frame) -> Any:
+        if isinstance(expr, ast.Number):
+            return expr.value
+        if isinstance(expr, ast.String):
+            return expr.value
+        if isinstance(expr, ast.Boolean):
+            return expr.value
+        if isinstance(expr, ast.Nil):
+            return None
+        if isinstance(expr, ast.Name):
+            return self._lookup(expr, frame)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute(expr, frame)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, frame)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, frame)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, frame)
+        raise EvalError(f"unknown expression {expr!r}", expr.line)
+
+    def _lookup(self, expr: ast.Name, frame: Frame) -> Any:
+        if expr.ident in frame.vars:
+            return frame.vars[expr.ident]
+        if expr.ident in self.globals.vars:
+            return self.globals.vars[expr.ident]
+        try:
+            return Direction.from_name(expr.ident)
+        except ValueError:
+            pass
+        raise EvalError(f"unknown name {expr.ident!r}", expr.line)
+
+    def _attribute(self, expr: ast.Attribute, frame: Frame) -> Any:
+        value = self._eval(expr.value, frame)
+        if isinstance(value, LayoutObject):
+            dbu = self.tech.dbu_per_micron
+            if expr.attr == "width":
+                return value.width / dbu
+            if expr.attr == "height":
+                return value.height / dbu
+            if expr.attr == "area":
+                return value.area() / dbu ** 2
+            raise EvalError(
+                f"objects have no attribute {expr.attr!r}"
+                " (use width, height or area)",
+                expr.line,
+            )
+        raise EvalError(f"cannot read attribute of {type(value).__name__}", expr.line)
+
+    def _unary(self, expr: ast.Unary, frame: Frame) -> Any:
+        value = self._eval(expr.operand, frame)
+        if expr.op == "-":
+            return -self._number(value, expr.line)
+        if expr.op == "NOT":
+            return not self._truthy(value)
+        raise EvalError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _binary(self, expr: ast.Binary, frame: Frame) -> Any:
+        if expr.op == "AND":
+            return self._truthy(self._eval(expr.left, frame)) and self._truthy(
+                self._eval(expr.right, frame)
+            )
+        if expr.op == "OR":
+            return self._truthy(self._eval(expr.left, frame)) or self._truthy(
+                self._eval(expr.right, frame)
+            )
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if expr.op == "==":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op in ("+", "-", "*", "/", "<", ">", "<=", ">="):
+            lnum = self._number(left, expr.line)
+            rnum = self._number(right, expr.line)
+            if expr.op == "+":
+                return lnum + rnum
+            if expr.op == "-":
+                return lnum - rnum
+            if expr.op == "*":
+                return lnum * rnum
+            if expr.op == "/":
+                if rnum == 0:
+                    raise EvalError("division by zero", expr.line)
+                return lnum / rnum
+            if expr.op == "<":
+                return lnum < rnum
+            if expr.op == ">":
+                return lnum > rnum
+            if expr.op == "<=":
+                return lnum <= rnum
+            return lnum >= rnum
+        raise EvalError(f"unknown operator {expr.op!r}", expr.line)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    def _call(self, expr: ast.Call, frame: Frame) -> Any:
+        args = [self._eval(arg, frame) for arg in expr.args]
+        kwargs = [(key, self._eval(value, frame)) for key, value in expr.kwargs]
+
+        entity = self.entities.get(expr.func)
+        if entity is not None:
+            return self._call_entity(entity, args, kwargs, expr.line)
+
+        builtin = _BUILTINS.get(expr.func)
+        if builtin is not None:
+            return builtin(self, frame, args, dict(kwargs), expr.line)
+
+        raise EvalError(f"unknown function or entity {expr.func!r}", expr.line)
+
+    def _call_entity(
+        self,
+        entity: ast.Entity,
+        args: Sequence[Any],
+        kwargs: Sequence[Tuple[str, Any]],
+        line: int,
+    ) -> LayoutObject:
+        if len(args) > len(entity.params):
+            raise EvalError(
+                f"{entity.name}: too many positional arguments", line
+            )
+        bound: Dict[str, Any] = {}
+        for param, value in zip(entity.params, args):
+            bound[param.name] = value
+        for key, value in kwargs:
+            if all(param.name != key for param in entity.params):
+                raise EvalError(f"{entity.name}: unknown parameter {key!r}", line)
+            if key in bound:
+                raise EvalError(f"{entity.name}: parameter {key!r} given twice", line)
+            bound[key] = value
+        for param in entity.params:
+            if param.name not in bound:
+                if not param.optional:
+                    raise EvalError(
+                        f"{entity.name}: missing required parameter {param.name!r}",
+                        line,
+                    )
+                bound[param.name] = None
+
+        if self._depth >= MAX_CALL_DEPTH:
+            raise EvalError(
+                f"{entity.name}: entity call depth exceeds {MAX_CALL_DEPTH}"
+                " (recursive module definition?)",
+                line,
+            )
+        index = self._counters.get(entity.name, 0)
+        self._counters[entity.name] = index + 1
+        inner = Frame(entity.name, LayoutObject(f"{entity.name}_{index}", self.tech))
+        inner.vars.update(bound)
+        self._depth += 1
+        try:
+            for statement in entity.body:
+                self._exec(statement, inner)
+        finally:
+            self._depth -= 1
+        return inner.obj  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # helpers shared with the builtins
+    # ------------------------------------------------------------------
+    def _number(self, value: Any, line: int) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EvalError(f"expected a number, got {type(value).__name__}", line)
+        return float(value)
+
+    @staticmethod
+    def _truthy(value: Any) -> bool:
+        return bool(value)
+
+    def dbu(self, value: Any, line: int) -> Optional[int]:
+        """Convert a micron value to database units; None passes through."""
+        if value is None:
+            return None
+        return self.tech.um(self._number(value, line))
+
+    def require_obj(self, frame: Frame, what: str, line: int) -> LayoutObject:
+        """The current entity structure; geometry outside ENT is an error."""
+        if frame.obj is None:
+            raise EvalError(f"{what} is only allowed inside an entity body", line)
+        return frame.obj
+
+
+# ---------------------------------------------------------------------------
+# builtin functions
+# ---------------------------------------------------------------------------
+Builtin = Callable[[Interpreter, Frame, List[Any], Dict[str, Any], int], Any]
+
+
+def _expect_str(value: Any, what: str, line: int) -> str:
+    if not isinstance(value, str):
+        raise EvalError(f"{what} must be a string", line)
+    return value
+
+
+def _merge_args(
+    name: str,
+    positional_names: Tuple[str, ...],
+    args: List[Any],
+    kwargs: Dict[str, Any],
+    line: int,
+) -> Dict[str, Any]:
+    """Bind positional + keyword arguments strictly (no silent drops)."""
+    if len(args) > len(positional_names):
+        raise EvalError(
+            f"{name} takes at most {len(positional_names)} positional"
+            f" arguments ({', '.join(positional_names)})",
+            line,
+        )
+    merged = dict(zip(positional_names, args))
+    for key, value in kwargs.items():
+        if key in merged:
+            raise EvalError(f"{name}: argument {key!r} given twice", line)
+        merged[key] = value
+    return merged
+
+
+def _builtin_inbox(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "INBOX", line)
+    merged = _merge_args("INBOX", ("layer", "W", "L", "net", "variable"), args, kwargs, line)
+    layer = _expect_str(merged.get("layer"), "INBOX layer", line)
+    inbox(
+        obj,
+        layer,
+        w=interp.dbu(merged.get("W"), line),
+        length=interp.dbu(merged.get("L"), line),
+        net=merged.get("net"),
+        variable=bool(merged.get("variable", False)),
+    )
+
+
+def _builtin_array(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "ARRAY", line)
+    merged = _merge_args("ARRAY", ("layer", "net"), args, kwargs, line)
+    layer = _expect_str(merged.get("layer"), "ARRAY layer", line)
+    array(obj, layer, net=merged.get("net"))
+
+
+def _builtin_tworects(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "TWORECTS", line)
+    merged = _merge_args("TWORECTS", ("gate", "body", "W", "L", "gatenet", "bodynet"), args, kwargs, line)
+    gate = _expect_str(merged.get("gate"), "TWORECTS gate layer", line)
+    body = _expect_str(merged.get("body"), "TWORECTS body layer", line)
+    w = interp.dbu(merged.get("W"), line)
+    length = interp.dbu(merged.get("L"), line)
+    if w is None or length is None:
+        raise EvalError("TWORECTS requires W and L", line)
+    tworects(
+        obj,
+        gate,
+        body,
+        w,
+        length,
+        gate_net=merged.get("gatenet"),
+        body_net=merged.get("bodynet"),
+    )
+
+
+def _builtin_around(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "AROUND", line)
+    merged = _merge_args("AROUND", ("layer", "margin", "net"), args, kwargs, line)
+    layer = _expect_str(merged.get("layer"), "AROUND layer", line)
+    around(obj, layer, margin=interp.dbu(merged.get("margin"), line), net=merged.get("net"))
+
+
+def _builtin_ring(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "RING", line)
+    merged = _merge_args("RING", ("layer", "width", "gap", "net"), args, kwargs, line)
+    layer = _expect_str(merged.get("layer"), "RING layer", line)
+    ring(
+        obj,
+        layer,
+        width=interp.dbu(merged.get("width"), line),
+        gap=interp.dbu(merged.get("gap"), line),
+        net=merged.get("net"),
+    )
+
+
+def _builtin_adaptor(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "ADAPTOR", line)
+    merged = _merge_args("ADAPTOR", ("hlayer", "vlayer", "x", "y", "hwidth", "vwidth", "net"), args, kwargs, line)
+    angle_adaptor(
+        obj,
+        _expect_str(merged.get("hlayer"), "ADAPTOR hlayer", line),
+        _expect_str(merged.get("vlayer"), "ADAPTOR vlayer", line),
+        interp.dbu(merged.get("x"), line) or 0,
+        interp.dbu(merged.get("y"), line) or 0,
+        h_width=interp.dbu(merged.get("hwidth"), line),
+        v_width=interp.dbu(merged.get("vwidth"), line),
+        net=merged.get("net"),
+    )
+
+
+def _builtin_wire(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "WIRE", line)
+    merged = _merge_args("WIRE", ("layer", "x1", "y1", "x2", "y2", "width", "net"), args, kwargs, line)
+    wire(
+        obj,
+        _expect_str(merged.get("layer"), "WIRE layer", line),
+        (interp.dbu(merged.get("x1"), line) or 0, interp.dbu(merged.get("y1"), line) or 0),
+        (interp.dbu(merged.get("x2"), line) or 0, interp.dbu(merged.get("y2"), line) or 0),
+        width=interp.dbu(merged.get("width"), line),
+        net=merged.get("net"),
+    )
+
+
+def _builtin_via(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "VIA", line)
+    merged = _merge_args("VIA", ("x", "y", "bottom", "top", "net"), args, kwargs, line)
+    via_stack(
+        obj,
+        interp.dbu(merged.get("x"), line) or 0,
+        interp.dbu(merged.get("y"), line) or 0,
+        _expect_str(merged.get("bottom"), "VIA bottom layer", line),
+        _expect_str(merged.get("top"), "VIA top layer", line),
+        net=merged.get("net"),
+    )
+
+
+def _builtin_compact(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "compact", line)
+    if len(args) < 2:
+        raise EvalError("compact(obj, DIRECTION, ignored layers...)", line)
+    child, direction, *ignored = args
+    if not isinstance(child, LayoutObject):
+        raise EvalError("compact: first argument must be an object", line)
+    if isinstance(direction, str):
+        direction = Direction.from_name(direction)
+    if not isinstance(direction, Direction):
+        raise EvalError("compact: second argument must be a direction", line)
+    ignore = tuple(_expect_str(layer, "ignored layer", line) for layer in ignored)
+    interp.compactor.compact(obj, child, direction, ignore)
+
+
+def _builtin_copy(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> LayoutObject:
+    if len(args) != 1 or not isinstance(args[0], LayoutObject):
+        raise EvalError("COPY(obj) expects one object", line)
+    return args[0].copy()
+
+
+def _builtin_move(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    if len(args) != 3 or not isinstance(args[0], LayoutObject):
+        raise EvalError("MOVE(obj, dx, dy) expects an object and two offsets", line)
+    args[0].translate(interp.dbu(args[1], line) or 0, interp.dbu(args[2], line) or 0)
+
+
+def _builtin_mirrorx(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    if not args or not isinstance(args[0], LayoutObject):
+        raise EvalError("MIRRORX(obj, [axis]) expects an object", line)
+    axis = interp.dbu(args[1], line) if len(args) > 1 else 0
+    args[0].mirror_x(axis or 0)
+
+
+def _builtin_mirrory(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    if not args or not isinstance(args[0], LayoutObject):
+        raise EvalError("MIRRORY(obj, [axis]) expects an object", line)
+    axis = interp.dbu(args[1], line) if len(args) > 1 else 0
+    args[0].mirror_y(axis or 0)
+
+
+def _builtin_setnet(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    if len(args) < 2 or not isinstance(args[0], LayoutObject):
+        raise EvalError("SETNET(obj, net, [layer])", line)
+    net = _expect_str(args[1], "net name", line)
+    layer = _expect_str(args[2], "layer", line) if len(args) > 2 else None
+    args[0].set_net(net, layer)
+
+
+def _builtin_variable(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    """VARIABLE(layer) / VARIABLE(obj, layer): mark layer edges variable."""
+    if args and isinstance(args[0], LayoutObject):
+        target, layers = args[0], args[1:]
+    else:
+        target = interp.require_obj(frame, "VARIABLE", line)
+        layers = args
+    if not layers:
+        raise EvalError("VARIABLE needs at least one layer name", line)
+    for layer in layers:
+        name = _expect_str(layer, "layer", line)
+        for rect in target.rects_on(name):
+            rect.set_variable()
+
+
+def _builtin_fixed(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    """FIXED(layer) / FIXED(obj, layer): mark layer edges fixed."""
+    if args and isinstance(args[0], LayoutObject):
+        target, layers = args[0], args[1:]
+    else:
+        target = interp.require_obj(frame, "FIXED", line)
+        layers = args
+    for layer in layers:
+        name = _expect_str(layer, "layer", line)
+        for rect in target.rects_on(name):
+            rect.set_fixed()
+
+
+def _builtin_error(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    message = args[0] if args else "explicit ERROR"
+    raise RuleError(f"line {line}: {message}")
+
+
+def _builtin_label(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> None:
+    obj = interp.require_obj(frame, "LABEL", line)
+    if len(args) != 4:
+        raise EvalError("LABEL(text, x, y, layer)", line)
+    obj.add_label(
+        _expect_str(args[0], "label text", line),
+        interp.dbu(args[1], line) or 0,
+        interp.dbu(args[2], line) or 0,
+        _expect_str(args[3], "layer", line),
+    )
+
+
+def _builtin_widthrule(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> float:
+    layer = _expect_str(args[0] if args else None, "layer", line)
+    return interp.tech.min_width(layer) / interp.tech.dbu_per_micron
+
+
+def _builtin_spacerule(
+    interp: Interpreter, frame: Frame, args: List[Any], kwargs: Dict[str, Any], line: int
+) -> float:
+    if len(args) != 2:
+        raise EvalError("SPACERULE(layerA, layerB)", line)
+    a = _expect_str(args[0], "layer", line)
+    b = _expect_str(args[1], "layer", line)
+    rule = interp.tech.min_space(a, b)
+    if rule is None:
+        raise RuleError(f"no SPACE rule between {a!r} and {b!r}")
+    return rule / interp.tech.dbu_per_micron
+
+
+def _builtin_numeric(name, func):
+    def implementation(
+        interp: Interpreter, frame: Frame, args: List[Any],
+        kwargs: Dict[str, Any], line: int,
+    ) -> float:
+        if kwargs:
+            raise EvalError(f"{name} takes no keyword arguments", line)
+        values = [interp._number(value, line) for value in args]
+        try:
+            return float(func(values))
+        except (ValueError, ZeroDivisionError, TypeError) as error:
+            raise EvalError(f"{name}: {error}", line) from error
+
+    return implementation
+
+
+def _mod(values):
+    if len(values) != 2:
+        raise ValueError("MOD(a, b) takes two arguments")
+    return values[0] % values[1]
+
+
+def _floor(values):
+    if len(values) != 1:
+        raise ValueError("FLOOR(x) takes one argument")
+    import math
+
+    return math.floor(values[0])
+
+
+def _abs(values):
+    if len(values) != 1:
+        raise ValueError("ABS(x) takes one argument")
+    return abs(values[0])
+
+
+def _min(values):
+    if not values:
+        raise ValueError("MIN needs at least one argument")
+    return min(values)
+
+
+def _max(values):
+    if not values:
+        raise ValueError("MAX needs at least one argument")
+    return max(values)
+
+
+_BUILTINS: Dict[str, Builtin] = {
+    "INBOX": _builtin_inbox,
+    "ARRAY": _builtin_array,
+    "TWORECTS": _builtin_tworects,
+    "AROUND": _builtin_around,
+    "RING": _builtin_ring,
+    "ADAPTOR": _builtin_adaptor,
+    "WIRE": _builtin_wire,
+    "VIA": _builtin_via,
+    "compact": _builtin_compact,
+    "COMPACT": _builtin_compact,
+    "COPY": _builtin_copy,
+    "MOVE": _builtin_move,
+    "MIRRORX": _builtin_mirrorx,
+    "MIRRORY": _builtin_mirrory,
+    "SETNET": _builtin_setnet,
+    "VARIABLE": _builtin_variable,
+    "FIXED": _builtin_fixed,
+    "ERROR": _builtin_error,
+    "LABEL": _builtin_label,
+    "WIDTHRULE": _builtin_widthrule,
+    "SPACERULE": _builtin_spacerule,
+    "MOD": _builtin_numeric("MOD", _mod),
+    "FLOOR": _builtin_numeric("FLOOR", _floor),
+    "ABS": _builtin_numeric("ABS", _abs),
+    "MIN": _builtin_numeric("MIN", _min),
+    "MAX": _builtin_numeric("MAX", _max),
+}
+
+#: Public list of builtin names (used by the translator and docs).
+BUILTIN_NAMES = tuple(sorted(_BUILTINS))

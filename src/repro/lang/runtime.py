@@ -1,0 +1,278 @@
+"""Runtime support for translated PLDL code.
+
+The paper's environment translates module source into C; :mod:`repro.lang.
+translate` does the same with Python as the target.  Generated functions call
+the methods of this :class:`Runtime`, which mirror the interpreter builtins
+(dimensions in microns) but take the target object explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction
+from ..primitives import angle_adaptor, around, array, inbox, ring, tworects
+from ..route import via_stack, wire
+from ..tech import RuleError, Technology
+
+
+class Runtime:
+    """Execution context shared by all translated entities."""
+
+    def __init__(self, tech: Technology, compactor: Optional[Compactor] = None) -> None:
+        self.tech = tech
+        self.compactor = compactor if compactor is not None else Compactor()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def begin(self, entity_name: str) -> LayoutObject:
+        """Create the structure a translated entity builds into."""
+        obj = LayoutObject(f"{entity_name}_{self._counter}", self.tech)
+        self._counter += 1
+        return obj
+
+    def _dbu(self, value: Optional[float]) -> Optional[int]:
+        return None if value is None else self.tech.um(float(value))
+
+    # ------------------------------------------------------------------
+    # geometry builtins (micron-valued)
+    # ------------------------------------------------------------------
+    def INBOX(
+        self,
+        obj: LayoutObject,
+        layer: str,
+        W: Optional[float] = None,
+        L: Optional[float] = None,
+        net: Optional[str] = None,
+        variable: bool = False,
+    ) -> None:
+        """Translated INBOX."""
+        inbox(obj, layer, w=self._dbu(W), length=self._dbu(L), net=net, variable=variable)
+
+    def ARRAY(self, obj: LayoutObject, layer: str, net: Optional[str] = None) -> None:
+        """Translated ARRAY."""
+        array(obj, layer, net=net)
+
+    def TWORECTS(
+        self,
+        obj: LayoutObject,
+        gate: str,
+        body: str,
+        W: float,
+        L: float,
+        gatenet: Optional[str] = None,
+        bodynet: Optional[str] = None,
+    ) -> None:
+        """Translated TWORECTS."""
+        tworects(
+            obj, gate, body, self._dbu(W) or 0, self._dbu(L) or 0,
+            gate_net=gatenet, body_net=bodynet,
+        )
+
+    def AROUND(
+        self,
+        obj: LayoutObject,
+        layer: str,
+        margin: Optional[float] = None,
+        net: Optional[str] = None,
+    ) -> None:
+        """Translated AROUND."""
+        around(obj, layer, margin=self._dbu(margin), net=net)
+
+    def RING(
+        self,
+        obj: LayoutObject,
+        layer: str,
+        width: Optional[float] = None,
+        gap: Optional[float] = None,
+        net: Optional[str] = None,
+    ) -> None:
+        """Translated RING."""
+        ring(obj, layer, width=self._dbu(width), gap=self._dbu(gap), net=net)
+
+    def ADAPTOR(
+        self,
+        obj: LayoutObject,
+        hlayer: str,
+        vlayer: str,
+        x: float,
+        y: float,
+        hwidth: Optional[float] = None,
+        vwidth: Optional[float] = None,
+        net: Optional[str] = None,
+    ) -> None:
+        """Translated ADAPTOR."""
+        angle_adaptor(
+            obj, hlayer, vlayer, self._dbu(x) or 0, self._dbu(y) or 0,
+            h_width=self._dbu(hwidth), v_width=self._dbu(vwidth), net=net,
+        )
+
+    def WIRE(
+        self,
+        obj: LayoutObject,
+        layer: str,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        width: Optional[float] = None,
+        net: Optional[str] = None,
+    ) -> None:
+        """Translated WIRE."""
+        wire(
+            obj, layer,
+            (self._dbu(x1) or 0, self._dbu(y1) or 0),
+            (self._dbu(x2) or 0, self._dbu(y2) or 0),
+            width=self._dbu(width), net=net,
+        )
+
+    def VIA(
+        self,
+        obj: LayoutObject,
+        x: float,
+        y: float,
+        bottom: str,
+        top: str,
+        net: Optional[str] = None,
+    ) -> None:
+        """Translated VIA."""
+        via_stack(obj, self._dbu(x) or 0, self._dbu(y) or 0, bottom, top, net=net)
+
+    # ------------------------------------------------------------------
+    # structural builtins
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        obj: LayoutObject,
+        child: LayoutObject,
+        direction: Any,
+        *ignore: str,
+    ) -> None:
+        """Translated compact()."""
+        if isinstance(direction, str):
+            direction = Direction.from_name(direction)
+        self.compactor.compact(obj, child, direction, ignore)
+
+    def COPY(self, child: LayoutObject) -> LayoutObject:
+        """Translated COPY()."""
+        return child.copy()
+
+    def MOVE(self, child: LayoutObject, dx: float, dy: float) -> None:
+        """Translated MOVE()."""
+        child.translate(self._dbu(dx) or 0, self._dbu(dy) or 0)
+
+    def MIRRORX(self, child: LayoutObject, axis: float = 0.0) -> None:
+        """Translated MIRRORX()."""
+        child.mirror_x(self._dbu(axis) or 0)
+
+    def MIRRORY(self, child: LayoutObject, axis: float = 0.0) -> None:
+        """Translated MIRRORY()."""
+        child.mirror_y(self._dbu(axis) or 0)
+
+    def SETNET(self, child: LayoutObject, net: str, layer: Optional[str] = None) -> None:
+        """Translated SETNET()."""
+        child.set_net(net, layer)
+
+    def VARIABLE(self, target: LayoutObject, *layers: str) -> None:
+        """Translated VARIABLE()."""
+        for layer in layers:
+            for rect in target.rects_on(layer):
+                rect.set_variable()
+
+    def FIXED(self, target: LayoutObject, *layers: str) -> None:
+        """Translated FIXED()."""
+        for layer in layers:
+            for rect in target.rects_on(layer):
+                rect.set_fixed()
+
+    def ERROR(self, message: str = "explicit ERROR") -> None:
+        """Translated ERROR()."""
+        raise RuleError(str(message))
+
+    def LABEL(self, obj: LayoutObject, text: str, x: float, y: float, layer: str) -> None:
+        """Translated LABEL()."""
+        obj.add_label(text, self._dbu(x) or 0, self._dbu(y) or 0, layer)
+
+    def WIDTHRULE(self, layer: str) -> float:
+        """Translated WIDTHRULE()."""
+        return self.tech.min_width(layer) / self.tech.dbu_per_micron
+
+    def SPACERULE(self, layer_a: str, layer_b: str) -> float:
+        """Translated SPACERULE()."""
+        rule = self.tech.min_space(layer_a, layer_b)
+        if rule is None:
+            raise RuleError(f"no SPACE rule between {layer_a!r} and {layer_b!r}")
+        return rule / self.tech.dbu_per_micron
+
+    # ------------------------------------------------------------------
+    # control support
+    # ------------------------------------------------------------------
+    def alt(self, obj: LayoutObject, branches: Sequence[Callable[[], None]]) -> None:
+        """Translated ALT: try branches with rollback on rule failure."""
+        last: Optional[RuleError] = None
+        for branch in branches:
+            snapshot = obj.copy()
+            try:
+                branch()
+                return
+            except RuleError as error:
+                last = error
+                obj.rects = snapshot.rects
+                obj.links = snapshot.links
+                obj.labels = snapshot.labels
+        raise RuleError(f"all ALT branches failed (last: {last})")
+
+    @staticmethod
+    def MOD(a: float, b: float) -> float:
+        """Translated MOD()."""
+        return float(a) % float(b)
+
+    @staticmethod
+    def FLOOR(x: float) -> float:
+        """Translated FLOOR()."""
+        import math
+
+        return float(math.floor(x))
+
+    @staticmethod
+    def ABS(x: float) -> float:
+        """Translated ABS()."""
+        return abs(float(x))
+
+    @staticmethod
+    def MIN(*values: float) -> float:
+        """Translated MIN()."""
+        return float(min(values))
+
+    @staticmethod
+    def MAX(*values: float) -> float:
+        """Translated MAX()."""
+        return float(max(values))
+
+    @staticmethod
+    def frange(start: float, stop: float, step: float = 1.0) -> List[float]:
+        """Translated FOR bounds: inclusive float range."""
+        if step == 0:
+            raise ValueError("FOR step must not be zero")
+        values: List[float] = []
+        value = start
+        epsilon = abs(step) * 1e-9
+        while (step > 0 and value <= stop + epsilon) or (
+            step < 0 and value >= stop - epsilon
+        ):
+            values.append(value)
+            value += step
+        return values
+
+    def attr(self, obj: LayoutObject, name: str) -> float:
+        """Translated attribute access (micron-valued metrics)."""
+        dbu = self.tech.dbu_per_micron
+        if name == "width":
+            return obj.width / dbu
+        if name == "height":
+            return obj.height / dbu
+        if name == "area":
+            return obj.area() / dbu ** 2
+        raise AttributeError(f"objects have no attribute {name!r}")

@@ -1,0 +1,188 @@
+"""Lexer for the procedural layout description language.
+
+The language is line oriented ("a simple procedural language that yields
+natural and short code", Sec. 2.1): newlines terminate statements, except
+inside parentheses, where continuation is implicit.  Comments run from
+``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from .errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    NEWLINE = "newline"
+    EOF = "eof"
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+
+
+#: Reserved words (case sensitive, upper case — matching the paper's style).
+KEYWORDS = frozenset(
+    {
+        "ENT",
+        "END",
+        "IF",
+        "ELSE",
+        "ENDIF",
+        "FOR",
+        "TO",
+        "STEP",
+        "ENDFOR",
+        "ALT",
+        "ELSEALT",
+        "ENDALT",
+        "AND",
+        "OR",
+        "NOT",
+        "TRUE",
+        "FALSE",
+        "NIL",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line."""
+
+    kind: TokenKind
+    value: str
+    line: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given reserved word."""
+        return self.kind is TokenKind.IDENT and self.value == word
+
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert PLDL source text into a token list (ending with EOF)."""
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    depth = 0  # parenthesis depth: newlines inside parens are ignored
+    length = len(source)
+
+    def push(kind: TokenKind, value: str) -> None:
+        tokens.append(Token(kind, value, line))
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            if depth == 0 and tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+                push(TokenKind.NEWLINE, "\n")
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end == -1 or "\n" in source[index:end]:
+                raise LexError("unterminated string literal", line)
+            push(TokenKind.STRING, source[index + 1:end])
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            seen_dot = False
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                if source[index] == ".":
+                    if seen_dot:
+                        break
+                    seen_dot = True
+                index += 1
+            push(TokenKind.NUMBER, source[start:index])
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            push(TokenKind.IDENT, source[start:index])
+            continue
+        if source.startswith("==", index):
+            push(TokenKind.EQ, "==")
+            index += 2
+            continue
+        if source.startswith("!=", index):
+            push(TokenKind.NE, "!=")
+            index += 2
+            continue
+        if source.startswith("<=", index):
+            push(TokenKind.LE, "<=")
+            index += 2
+            continue
+        if source.startswith(">=", index):
+            push(TokenKind.GE, ">=")
+            index += 2
+            continue
+        if char == "<":
+            push(TokenKind.LT, "<")
+            index += 1
+            continue
+        if char == ">":
+            push(TokenKind.GT, ">")
+            index += 1
+            continue
+        if char == "=":
+            push(TokenKind.ASSIGN, "=")
+            index += 1
+            continue
+        if char in _SINGLE:
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth = max(0, depth - 1)
+            push(_SINGLE[char], char)
+            index += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", line)
+
+    if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+        push(TokenKind.NEWLINE, "\n")
+    push(TokenKind.EOF, "")
+    return tokens

@@ -1,0 +1,239 @@
+"""PLDL → Python source translation.
+
+"The source code is automatically translated into C" (Sec. 2.1); here the
+target language is Python.  Each entity becomes a function taking the shared
+:class:`~repro.lang.runtime.Runtime` plus its (keyword-defaulted) parameters;
+builtins become runtime-method calls with the structure object threaded as
+the first argument.  The emitted module is self-contained apart from the
+runtime import and is meant to be ``exec``-uted or written to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ast_nodes as ast
+from .errors import EvalError
+from .interpreter import BUILTIN_NAMES
+from .parser import parse
+
+_DIRECTIONS = frozenset({"NORTH", "SOUTH", "EAST", "WEST"})
+_INDENT = "    "
+
+
+def translate(source: str) -> str:
+    """Translate PLDL source into a runnable Python module string."""
+    return translate_program(parse(source))
+
+
+def translate_program(program: ast.Program) -> str:
+    """Translate a parsed program into Python source."""
+    translator = _Translator({entity.name for entity in program.entities})
+    lines: List[str] = [
+        '"""Generated from PLDL by repro.lang.translate — do not edit."""',
+        "",
+        "from repro.geometry import Direction",
+        "from repro.lang.runtime import Runtime",
+        "",
+        "NORTH = Direction.NORTH",
+        "SOUTH = Direction.SOUTH",
+        "EAST = Direction.EAST",
+        "WEST = Direction.WEST",
+        "",
+    ]
+    for entity in program.entities:
+        lines.extend(translator.entity(entity))
+        lines.append("")
+    if program.statements:
+        lines.append("def main(rt):")
+        lines.append(f'{_INDENT}"""Top-level calling sequence of the source file."""')
+        body = translator.block(program.statements, depth=1, obj_var=None)
+        lines.extend(body if body else [f"{_INDENT}pass"])
+        lines.append("")
+    return "\n".join(lines)
+
+
+class _Translator:
+    """Stateful expression/statement emitter."""
+
+    def __init__(self, entity_names: Set[str]) -> None:
+        self.entity_names = entity_names
+        self._alt_counter = 0
+
+    # ------------------------------------------------------------------
+    def entity(self, entity: ast.Entity) -> List[str]:
+        params = ["rt"]
+        for param in entity.params:
+            params.append(f"{param.name}=None" if param.optional else param.name)
+        lines = [f"def {entity.name}({', '.join(params)}):"]
+        lines.append(f'{_INDENT}"""Generated from entity {entity.name}."""')
+        lines.append(f'{_INDENT}obj = rt.begin("{entity.name}")')
+        lines.extend(self.block(entity.body, depth=1, obj_var="obj"))
+        lines.append(f"{_INDENT}return obj")
+        return lines
+
+    def block(
+        self, statements: List[ast.Statement], depth: int, obj_var: Optional[str]
+    ) -> List[str]:
+        lines: List[str] = []
+        for statement in statements:
+            lines.extend(self.statement(statement, depth, obj_var))
+        return lines
+
+    # ------------------------------------------------------------------
+    def statement(
+        self, statement: ast.Statement, depth: int, obj_var: Optional[str]
+    ) -> List[str]:
+        pad = _INDENT * depth
+        if isinstance(statement, ast.Assign):
+            return [f"{pad}{statement.target} = {self.expr(statement.value, obj_var)}"]
+        if isinstance(statement, ast.ExprStatement):
+            return [f"{pad}{self.expr(statement.value, obj_var)}"]
+        if isinstance(statement, ast.If):
+            lines = [f"{pad}if {self.expr(statement.condition, obj_var)}:"]
+            body = self.block(statement.then_body, depth + 1, obj_var)
+            lines.extend(body if body else [f"{pad}{_INDENT}pass"])
+            if statement.else_body:
+                lines.append(f"{pad}else:")
+                lines.extend(self.block(statement.else_body, depth + 1, obj_var))
+            return lines
+        if isinstance(statement, ast.For):
+            start = self.expr(statement.start, obj_var)
+            stop = self.expr(statement.stop, obj_var)
+            step = self.expr(statement.step, obj_var) if statement.step else "1.0"
+            lines = [
+                f"{pad}for {statement.var} in rt.frange({start}, {stop}, {step}):"
+            ]
+            body = self.block(statement.body, depth + 1, obj_var)
+            lines.extend(body if body else [f"{pad}{_INDENT}pass"])
+            return lines
+        if isinstance(statement, ast.Alt):
+            return self._alt(statement, depth, obj_var)
+        raise EvalError(f"cannot translate statement {statement!r}", statement.line)
+
+    def _alt(self, statement: ast.Alt, depth: int, obj_var: Optional[str]) -> List[str]:
+        if obj_var is None:
+            raise EvalError("ALT is only allowed inside an entity body", statement.line)
+        pad = _INDENT * depth
+        self._alt_counter += 1
+        tag = self._alt_counter
+
+        assigned = sorted(self._assigned_names(statement))
+        lines: List[str] = []
+        # Pre-bind names assigned inside branches so nonlocal is legal.
+        for name in assigned:
+            lines.append(f"{pad}{name} = None")
+
+        branch_names: List[str] = []
+        for index, branch in enumerate(statement.branches):
+            func = f"_alt{tag}_branch{index}"
+            branch_names.append(func)
+            lines.append(f"{pad}def {func}():")
+            if assigned:
+                lines.append(f"{pad}{_INDENT}nonlocal {', '.join(assigned)}")
+            body = self.block(branch, depth + 1, obj_var)
+            lines.extend(body if body else [f"{pad}{_INDENT}pass"])
+        lines.append(f"{pad}rt.alt({obj_var}, [{', '.join(branch_names)}])")
+        return lines
+
+    def _assigned_names(self, statement: ast.Alt) -> Set[str]:
+        names: Set[str] = set()
+
+        def visit(stmts: List[ast.Statement]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    names.add(stmt.target)
+                elif isinstance(stmt, ast.If):
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, ast.For):
+                    names.add(stmt.var)
+                    visit(stmt.body)
+                elif isinstance(stmt, ast.Alt):
+                    for branch in stmt.branches:
+                        visit(branch)
+
+        for branch in statement.branches:
+            visit(branch)
+        return names
+
+    # ------------------------------------------------------------------
+    def expr(self, expr: ast.Expr, obj_var: Optional[str]) -> str:
+        if isinstance(expr, ast.Number):
+            return repr(expr.value)
+        if isinstance(expr, ast.String):
+            return repr(expr.value)
+        if isinstance(expr, ast.Boolean):
+            return "True" if expr.value else "False"
+        if isinstance(expr, ast.Nil):
+            return "None"
+        if isinstance(expr, ast.Name):
+            return expr.ident
+        if isinstance(expr, ast.Attribute):
+            return f"rt.attr({self.expr(expr.value, obj_var)}, {expr.attr!r})"
+        if isinstance(expr, ast.Unary):
+            if expr.op == "NOT":
+                return f"(not {self.expr(expr.operand, obj_var)})"
+            return f"(-{self.expr(expr.operand, obj_var)})"
+        if isinstance(expr, ast.Binary):
+            op = {"AND": "and", "OR": "or"}.get(expr.op, expr.op)
+            return (
+                f"({self.expr(expr.left, obj_var)} {op} "
+                f"{self.expr(expr.right, obj_var)})"
+            )
+        if isinstance(expr, ast.Call):
+            return self._call(expr, obj_var)
+        raise EvalError(f"cannot translate expression {expr!r}", expr.line)
+
+    def _call(self, expr: ast.Call, obj_var: Optional[str]) -> str:
+        args = [self.expr(arg, obj_var) for arg in expr.args]
+        kwargs = [f"{key}={self.expr(value, obj_var)}" for key, value in expr.kwargs]
+
+        if expr.func in self.entity_names:
+            return f"{expr.func}({', '.join(['rt'] + args + kwargs)})"
+
+        if expr.func in ("VARIABLE", "FIXED"):
+            # Implicit-target form VARIABLE("layer") targets the entity
+            # structure; the explicit form VARIABLE(obj, "layer") passes
+            # through.  A leading string literal marks the implicit form.
+            implicit = bool(expr.args) and isinstance(expr.args[0], ast.String)
+            call_args = args + kwargs
+            if implicit:
+                if obj_var is None:
+                    raise EvalError(
+                        f"{expr.func} is only allowed inside an entity body",
+                        expr.line,
+                    )
+                call_args = [obj_var] + call_args
+            return f"rt.{expr.func}({', '.join(call_args)})"
+
+        if expr.func in BUILTIN_NAMES:
+            method = "compact" if expr.func in ("compact", "COMPACT") else expr.func
+            needs_obj = expr.func not in (
+                "COPY",
+                "MOVE",
+                "MIRRORX",
+                "MIRRORY",
+                "SETNET",
+                "VARIABLE",
+                "FIXED",
+                "ERROR",
+                "WIDTHRULE",
+                "SPACERULE",
+                "MOD",
+                "FLOOR",
+                "ABS",
+                "MIN",
+                "MAX",
+            )
+            call_args = args + kwargs
+            if needs_obj:
+                if obj_var is None:
+                    raise EvalError(
+                        f"{expr.func} is only allowed inside an entity body",
+                        expr.line,
+                    )
+                call_args = [obj_var] + call_args
+            return f"rt.{method}({', '.join(call_args)})"
+
+        raise EvalError(f"unknown function or entity {expr.func!r}", expr.line)

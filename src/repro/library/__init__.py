@@ -1,0 +1,59 @@
+"""Module library: the analog module types the paper's environment targets.
+
+"Only a few different module types (e.g. different current mirrors,
+differential pairs, stacked transistors, diode connected transistors) are
+required in analog circuits" — this package provides each of them, plus the
+complex matched structures of the amplifier example (interdigitated rows,
+cross-coupled pairs, the module-E common-centroid pair, symmetric bipolar
+modules, guard rings).
+"""
+
+from .bipolar import npn_transistor, symmetric_npn_pair
+from .centroid_pair import HALF_PATTERN, centroid_cross_coupled_pair
+from .contact_row import CONTACT_ROW_SOURCE, contact_row
+from .cross_coupled import cross_coupled_pair
+from .current_mirror import cascode_pair, simple_current_mirror, symmetric_current_mirror
+from .diff_pair import DIFF_PAIR_SOURCE, diff_pair
+from .dsl_sources import DSL_LIBRARY
+from .guard import guard_ring, substrate_ring
+from .interdigitated import (
+    DeviceNets,
+    finger,
+    interdigitated_transistor,
+    patterned_row,
+    strap_net,
+    via_landing_um,
+)
+from .passives import capacitor_value, mos_capacitor, poly_resistor, resistor_value
+from .transistor import diode_transistor, mos_transistor, stacked_transistor
+
+__all__ = [
+    "npn_transistor",
+    "symmetric_npn_pair",
+    "HALF_PATTERN",
+    "centroid_cross_coupled_pair",
+    "CONTACT_ROW_SOURCE",
+    "contact_row",
+    "cross_coupled_pair",
+    "cascode_pair",
+    "simple_current_mirror",
+    "symmetric_current_mirror",
+    "DIFF_PAIR_SOURCE",
+    "DSL_LIBRARY",
+    "diff_pair",
+    "guard_ring",
+    "substrate_ring",
+    "capacitor_value",
+    "mos_capacitor",
+    "poly_resistor",
+    "resistor_value",
+    "via_landing_um",
+    "DeviceNets",
+    "finger",
+    "interdigitated_transistor",
+    "patterned_row",
+    "strap_net",
+    "diode_transistor",
+    "mos_transistor",
+    "stacked_transistor",
+]

@@ -1,0 +1,94 @@
+"""Bipolar transistor modules (block F).
+
+"The bipolar transistors of block F are composed symmetrically."  An npn
+device is built inside-out with the same primitives as the MOS modules:
+emitter contact row, base ring region, buried collector — each enclosure
+taken from the technology file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction
+from ..primitives import around, array, inbox
+from ..tech import Technology
+from .contact_row import contact_row
+
+
+def npn_transistor(
+    tech: Technology,
+    emitter_w: float = 2.0,
+    emitter_l: float = 4.0,
+    emitter_net: str = "e",
+    base_net: str = "b",
+    collector_net: str = "c",
+    compactor: Optional[Compactor] = None,
+    name: str = "NPN",
+) -> LayoutObject:
+    """A vertical npn: emitter inside base inside buried collector.
+
+    The emitter is a contacted stripe; the base region is placed AROUND it
+    per the base-enclose-emitter rule with its own contact row compacted to
+    the west; the buried layer wraps everything with its collector contact
+    row to the east.
+    """
+    if compactor is None:
+        compactor = Compactor()
+    device = LayoutObject(name, tech)
+
+    # Emitter: stripe + metal + contacts (a contact row on the emitter layer).
+    emitter = LayoutObject(f"{name}_em", tech)
+    inbox(emitter, "emitter", w=tech.um(emitter_w), length=tech.um(emitter_l),
+          net=emitter_net)
+    inbox(emitter, "metal1", net=emitter_net, variable=True)
+    array(emitter, "contact", net=emitter_net)
+    compactor.compact(device, emitter, Direction.SOUTH)
+
+    # Base region around the emitter, plus its contact row.
+    around(device, "base", net=base_net)
+    base_row = contact_row(tech, "base", w=emitter_w, net=base_net,
+                           name=f"{name}_bc")
+    compactor.compact(device, base_row, Direction.EAST, ignore_layers=("base",))
+
+    # Buried collector wraps base; collector contact row to the east.
+    around(device, "buried", net=collector_net)
+    collector_row = contact_row(tech, "emitter", w=emitter_w, net=collector_net,
+                                name=f"{name}_cc")
+    compactor.compact(device, collector_row, Direction.WEST,
+                      ignore_layers=("buried",))
+    return device
+
+
+def symmetric_npn_pair(
+    tech: Technology,
+    emitter_w: float = 2.0,
+    emitter_l: float = 4.0,
+    nets_left: Tuple[str, str, str] = ("e1", "b1", "c1"),
+    nets_right: Tuple[str, str, str] = ("e2", "b2", "c2"),
+    compactor: Optional[Compactor] = None,
+    name: str = "NPNPair",
+) -> LayoutObject:
+    """Two npn devices composed symmetrically (mirror images).
+
+    The right device is the exact mirror of the left one, so the pair
+    matches under linear gradients — the paper's "composed symmetrically".
+    """
+    if compactor is None:
+        compactor = Compactor()
+    left = npn_transistor(
+        tech, emitter_w, emitter_l, *nets_left, compactor=compactor,
+        name=f"{name}_l",
+    )
+    right = npn_transistor(
+        tech, emitter_w, emitter_l, *nets_right, compactor=compactor,
+        name=f"{name}_r",
+    )
+    right.mirror_y(axis_x=0)
+
+    pair = LayoutObject(name, tech)
+    compactor.compact(pair, left, Direction.WEST)
+    compactor.compact(pair, right, Direction.WEST)
+    return pair

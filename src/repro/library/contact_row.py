@@ -1,0 +1,68 @@
+"""The contact row module (Fig. 2/3) — the paper's introductory example.
+
+Ships both as canonical PLDL source (:data:`CONTACT_ROW_SOURCE`, three
+primitive calls exactly as printed in the paper) and as a Python builder for
+composition inside other generators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..db import LayoutObject
+from ..geometry import Direction
+from ..primitives import array, inbox
+from ..tech import Technology
+
+#: Fig. 2 verbatim (modulo the ENT terminator): a complete parameterizable
+#: contact row in three primitive calls, no coordinates, no rule values.
+CONTACT_ROW_SOURCE = """\
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+END
+"""
+
+
+def contact_row(
+    tech: Technology,
+    layer: str,
+    w: Optional[float] = None,
+    length: Optional[float] = None,
+    net: Optional[str] = None,
+    variable_metal: bool = True,
+    metal_min_width: Optional[float] = None,
+    metal_min_height: Optional[float] = None,
+    name: str = "ContactRow",
+) -> LayoutObject:
+    """Build a contact row (dimensions in microns).
+
+    ``variable_metal`` marks the metal1 edges movable, enabling the Fig. 5b
+    shrink optimization when the row is later compacted against neighbours;
+    ``metal_min_width`` / ``metal_min_height`` bound that movement so the
+    metal never narrows below the given extent (e.g. a via landing for later
+    module wiring).  Omitted dimensions default per design rules, with
+    automatic expansion so at least one contact always fits (Fig. 3, left
+    example).
+    """
+    obj = LayoutObject(name, tech)
+    inbox(
+        obj,
+        layer,
+        w=None if w is None else tech.um(w),
+        length=None if length is None else tech.um(length),
+        net=net,
+    )
+    metal = inbox(obj, "metal1", net=net, variable=variable_metal)
+    array(obj, "contact", net=net)
+    cx, cy = metal.center
+    if metal_min_width is not None:
+        keep = tech.um(metal_min_width)
+        metal.edge(Direction.WEST).max_coord = cx - keep // 2
+        metal.edge(Direction.EAST).min_coord = cx - keep // 2 + keep
+    if metal_min_height is not None:
+        keep = tech.um(metal_min_height)
+        metal.edge(Direction.SOUTH).max_coord = cy - keep // 2
+        metal.edge(Direction.NORTH).min_coord = cy - keep // 2 + keep
+    return obj

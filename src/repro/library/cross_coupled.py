@@ -1,0 +1,144 @@
+"""Cross-coupled interdigitated device pairs (block C).
+
+"For the current sources of block C high symmetry and matching requirements
+exist.  Thus a cross-coupled arrangement of inter-digital transistors is
+selected."  Two matched devices A and B are split into fingers arranged
+palindromically (one-dimensional common centroid), so linear process
+gradients affect both devices equally.
+
+Wiring is planar by construction: device A contacts its gates on the north
+side and device B on the south side, so each gate net gets a same-layer rail
+on its own side; the split drain columns are bridged on metal2 at two
+disjoint height bands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Rect
+from ..route import via_stack, wire
+from ..tech import Technology
+from .interdigitated import DeviceNets, patterned_row, via_landing_um
+
+
+def cross_coupled_pair(
+    tech: Technology,
+    w: float,
+    length: float,
+    gate_nets: Tuple[str, str] = ("gA", "gB"),
+    drain_nets: Tuple[str, str] = ("dA", "dB"),
+    source_net: str = "vss",
+    fingers_per_device: int = 2,
+    wiring: bool = True,
+    compactor: Optional[Compactor] = None,
+    name: str = "CrossCoupled",
+) -> LayoutObject:
+    """Cross-coupled pair with palindromic finger pattern (e.g. ABBA)."""
+    if fingers_per_device < 1:
+        raise ValueError("fingers_per_device must be >= 1")
+    if compactor is None:
+        compactor = Compactor()
+    pattern = _centroid_pattern(fingers_per_device)
+
+    devices = {
+        "A": DeviceNets(gate=gate_nets[0], drain=drain_nets[0], gate_side="north"),
+        "B": DeviceNets(gate=gate_nets[1], drain=drain_nets[1], gate_side="south"),
+    }
+    landing = via_landing_um(tech)
+    pair = patterned_row(
+        tech, w, length, pattern, devices,
+        source_net=source_net, compactor=compactor, name=name,
+        col_metal_min=landing,
+        gate_row_length=max(length, landing),
+        gate_row_width=landing,
+        gate_row_variable=False,
+    )
+    if wiring:
+        _tie_gate_rail(pair, tech, gate_nets[0], north=True)
+        _tie_gate_rail(pair, tech, gate_nets[1], north=False)
+        column_band = _drain_column_band(pair, drain_nets)
+        for fraction, net in zip((0.25, 0.75), drain_nets):
+            _tie_columns_metal2(pair, tech, net, column_band, fraction)
+    return pair
+
+
+def _centroid_pattern(half: int) -> str:
+    """A B…B A pattern with *half* fingers per device (e.g. 2 → ABBA)."""
+    return "A" * (half // 2 + half % 2) + "B" * half + "A" * (half // 2)
+
+
+def _tie_gate_rail(
+    obj: LayoutObject, tech: Technology, net: str, north: bool
+) -> None:
+    """Join same-net gate rows with a metal2 tie riding over the row band.
+
+    Running on metal2 (vias land on the via-ready row metals) keeps the
+    metal1 plane between the rows clear, so the diffusion columns can later
+    escape vertically — a metal1 rail would wall them in.
+    """
+    rows = [
+        r for r in obj.rects_on("metal1")
+        if r.net == net and ((r.y1 + r.y2) > 0) == north
+        and any(
+            p.net == net and p.contains(r)
+            for p in obj.rects_on("poly")
+        )
+    ]
+    if len(rows) < 2:
+        return
+    y = (rows[0].y1 + rows[0].y2) // 2
+    for row in rows:
+        via_stack(obj, (row.x1 + row.x2) // 2, y, "metal1", "metal2", net=net)
+    wire(
+        obj, "metal2",
+        (min(r.x1 for r in rows), y),
+        (max(r.x2 for r in rows), y),
+        width=tech.min_width("metal2"),
+        net=net,
+    )
+
+
+def _drain_column_band(
+    obj: LayoutObject, drain_nets: Tuple[str, str]
+) -> Tuple[int, int]:
+    """Common y-range of the drain column metals (the bridging zone)."""
+    columns = [
+        r for r in obj.rects_on("metal1")
+        if r.net in drain_nets and r.height > r.width
+    ]
+    if not columns:
+        return (0, 0)
+    return (max(r.y1 for r in columns), min(r.y2 for r in columns))
+
+
+def _tie_columns_metal2(
+    obj: LayoutObject,
+    tech: Technology,
+    net: str,
+    band: Tuple[int, int],
+    fraction: float,
+) -> None:
+    """Bridge same-net drain columns with a metal2 wire plus via stacks.
+
+    ``fraction`` places the bridge inside the shared column band so the two
+    nets' bridges run at disjoint heights.
+    """
+    columns = [
+        r for r in obj.rects_on("metal1") if r.net == net and r.height > r.width
+    ]
+    if len(columns) < 2:
+        return
+    columns.sort(key=lambda r: r.x1)
+    lo, hi = band
+    y = lo + int((hi - lo) * fraction)
+    for column in columns:
+        via_stack(obj, (column.x1 + column.x2) // 2, y, "metal1", "metal2", net=net)
+    wire(
+        obj, "metal2",
+        ((columns[0].x1 + columns[0].x2) // 2, y),
+        ((columns[-1].x1 + columns[-1].x2) // 2, y),
+        net=net,
+    )

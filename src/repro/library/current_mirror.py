@@ -1,0 +1,170 @@
+"""Current mirrors — simple and the symmetric block-B arrangement.
+
+The amplifier's block B uses "a symmetrical layout module ... with the diode
+transistor in the middle" (Sec. 3): output devices flank the diode-connected
+reference device so first-order process gradients cancel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction, Rect
+from ..route import wire
+from ..tech import Technology
+from .contact_row import contact_row
+from .interdigitated import DeviceNets, patterned_row, strap_net, via_landing_um
+from .transistor import mos_transistor
+
+
+def simple_current_mirror(
+    tech: Technology,
+    w: float,
+    length: float,
+    ref_net: str = "iref",
+    out_net: str = "iout",
+    source_net: str = "vss",
+    compactor: Optional[Compactor] = None,
+    name: str = "Mirror",
+) -> LayoutObject:
+    """Two-device mirror: diode-connected reference beside the output device.
+
+    Gates share the reference net; the gate rows auto-connect when the
+    second device is compacted against the first.
+    """
+    if compactor is None:
+        compactor = Compactor()
+    mirror = LayoutObject(name, tech)
+    landing = via_landing_um(tech)
+    reference = mos_transistor(
+        tech, w, length,
+        gate_net=ref_net, source_net=source_net, drain_net=ref_net,
+        col_metal_min=landing, compactor=compactor, name=f"{name}_ref",
+    )
+    output = mos_transistor(
+        tech, w, length,
+        gate_net=ref_net, source_net=source_net, drain_net=out_net,
+        source_contact=False, col_metal_min=landing,
+        compactor=compactor, name=f"{name}_out",
+    )
+    compactor.compact(mirror, reference, Direction.WEST, ignore_layers=("pdiff",))
+    compactor.compact(mirror, output, Direction.WEST, ignore_layers=("pdiff",))
+    _tie_gate_rows(mirror, tech, ref_net)
+    _diode_strap(mirror, tech, ref_net)
+    return mirror
+
+
+def symmetric_current_mirror(
+    tech: Technology,
+    w: float,
+    length: float,
+    ref_net: str = "iref",
+    out_nets: Sequence[str] = ("iout1", "iout2"),
+    source_net: str = "vss",
+    compactor: Optional[Compactor] = None,
+    name: str = "SymMirror",
+) -> LayoutObject:
+    """Block B: outputs flank the diode device in the middle (out1|ref|out2).
+
+    Built as one patterned finger row ``ABC`` where B is the centre diode;
+    all gates share the reference net, so the row's gate contact rows
+    auto-connect, and the drain of B is strapped to its gate (the diode
+    connection).
+    """
+    if compactor is None:
+        compactor = Compactor()
+    devices = {
+        "A": DeviceNets(gate=ref_net, drain=out_nets[0]),
+        "B": DeviceNets(gate=ref_net, drain=ref_net),
+        "C": DeviceNets(gate=ref_net, drain=out_nets[1]),
+    }
+    mirror = patterned_row(
+        tech, w, length, "ABC", devices,
+        source_net=source_net, col_metal_min=via_landing_um(tech),
+        compactor=compactor, name=name,
+    )
+    _tie_gate_rows(mirror, tech, ref_net)
+    _diode_strap(mirror, tech, ref_net)
+    return mirror
+
+
+def _tie_gate_rows(obj: LayoutObject, tech: Technology, gate_net: str) -> None:
+    """Join all gate-row metals of *gate_net* with one horizontal wire."""
+    rows = [
+        rect
+        for rect in obj.rects_on("metal1")
+        if rect.net == gate_net and rect.y1 > 0
+    ]
+    if len(rows) < 2:
+        return
+    y = max((r.y1 + r.y2) // 2 for r in rows)
+    x1 = min(r.x1 for r in rows)
+    x2 = max(r.x2 for r in rows)
+    wire(obj, "metal1", (x1, y), (x2, y), net=gate_net)
+
+
+def _diode_strap(obj: LayoutObject, tech: Technology, net: str) -> None:
+    """Strap the centre diode's drain column up to its gate row."""
+    columns = [
+        rect
+        for rect in obj.rects_on("metal1")
+        if rect.net == net and rect.height > rect.width
+    ]
+    rows = [
+        rect
+        for rect in obj.rects_on("metal1")
+        if rect.net == net and rect.width >= rect.height
+    ]
+    if not columns or not rows:
+        return
+    column = max(columns, key=lambda r: r.area)
+    row = max(rows, key=lambda r: r.y1)
+    x = (column.x1 + column.x2) // 2
+    row_cy = (row.y1 + row.y2) // 2
+    if column.y2 < row.y1:
+        # Up beside the gate, then jog across to the gate row — every gate
+        # in a mirror shares the reference net, so the jog is safe.  The
+        # stub starts a wire-width inside the column so the shapes merge.
+        start = column.y2 - tech.min_width("metal1")
+        wire(obj, "metal1", (x, start), (x, row_cy), net=net)
+        if x != (row.x1 + row.x2) // 2:
+            wire(obj, "metal1", (x, row_cy), ((row.x1 + row.x2) // 2, row_cy), net=net)
+
+
+def cascode_pair(
+    tech: Technology,
+    w: float,
+    length: float,
+    in_net: str = "in",
+    mid_net: str = "mid",
+    out_net: str = "out",
+    bias_net: str = "vbias",
+    compactor: Optional[Compactor] = None,
+    name: str = "Cascode",
+) -> LayoutObject:
+    """Block A style: two stacked devices sharing the middle column.
+
+    The input device's drain column is the cascode device's source; both are
+    inter-digital transistors in the amplifier, realised here as a two-finger
+    row [in-device | cascode-device] sharing the mid column.
+    """
+    if compactor is None:
+        compactor = Compactor()
+    stack = LayoutObject(name, tech)
+    landing = via_landing_um(tech)
+    bottom = mos_transistor(
+        tech, w, length,
+        gate_net=in_net, source_net="vss", drain_net=mid_net,
+        col_metal_min=landing, compactor=compactor, name=f"{name}_in",
+    )
+    top = mos_transistor(
+        tech, w, length,
+        gate_net=bias_net, source_net=mid_net, drain_net=out_net,
+        source_contact=False, col_metal_min=landing,
+        compactor=compactor, name=f"{name}_casc",
+    )
+    compactor.compact(stack, bottom, Direction.WEST, ignore_layers=("pdiff",))
+    compactor.compact(stack, top, Direction.WEST, ignore_layers=("pdiff",))
+    return stack

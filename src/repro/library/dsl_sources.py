@@ -1,0 +1,131 @@
+"""The module library written in the PLDL itself.
+
+"Due to its easy use, analog designers can construct and maintain their
+modules themselves" (Sec. 4) — these sources are what such designers would
+keep in their library: each is plain PLDL, exercising hierarchy, loops,
+conditionals, rule queries and backtracking, and each runs unchanged on any
+technology file.
+
+Every constant below is a self-contained program defining one entity (plus
+the shared ``ContactRow``); load them with
+:meth:`repro.core.Environment.load` or :class:`repro.lang.Interpreter`.
+"""
+
+from .contact_row import CONTACT_ROW_SOURCE
+from .diff_pair import DIFF_PAIR_SOURCE
+
+#: A single MOS transistor with gate row and both diffusion columns.
+TRANSISTOR_SOURCE = CONTACT_ROW_SOURCE + """
+ENT Transistor(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L, gatenet = "g")
+  gate = ContactRow(layer = "poly", L = L)
+  SETNET(gate, "g")
+  drain = ContactRow(layer = "pdiff", W = W)
+  SETNET(drain, "d")
+  source = ContactRow(layer = "pdiff", W = W)
+  SETNET(source, "s")
+  compact(gate, SOUTH)
+  compact(drain, WEST, "pdiff")
+  compact(source, EAST, "pdiff")
+END
+"""
+
+#: A simple two-device current mirror (diode-connected reference).
+CURRENT_MIRROR_SOURCE = CONTACT_ROW_SOURCE + """
+ENT MirrorHalf(<W>, <L>, <DNET>)
+  TWORECTS("poly", "pdiff", W, L, gatenet = "iref")
+  gate = ContactRow(layer = "poly", L = L)
+  SETNET(gate, "iref")
+  drain = ContactRow(layer = "pdiff", W = W)
+  SETNET(drain, DNET)
+  compact(gate, SOUTH)
+  compact(drain, EAST, "pdiff")
+END
+
+ENT Mirror(<W>, <L>)
+  ref = MirrorHalf(W = W, L = L, DNET = "iref")
+  out = MirrorHalf(W = W, L = L, DNET = "iout")
+  MIRRORY(out, 0)
+  tail = ContactRow(layer = "pdiff", W = W)
+  SETNET(tail, "vss")
+  compact(ref, WEST, "pdiff")
+  compact(tail, WEST, "pdiff")
+  compact(out, WEST, "pdiff")
+END
+"""
+
+#: An interdigitated transistor built with a FOR loop and MOD parity.
+INTERDIGITATED_SOURCE = CONTACT_ROW_SOURCE + """
+ENT Finger(<W>, <L>, <LNET>, <RNET>)
+  TWORECTS("poly", "pdiff", W, L, gatenet = "g")
+  gate = ContactRow(layer = "poly", L = L)
+  SETNET(gate, "g")
+  right = ContactRow(layer = "pdiff", W = W)
+  SETNET(right, RNET)
+  left = ContactRow(layer = "pdiff", W = W)
+  SETNET(left, LNET)
+  compact(gate, SOUTH)
+  compact(right, WEST, "pdiff")
+  compact(left, EAST, "pdiff")
+END
+
+ENT Interdigitated(<W>, <L>, <N>)
+  FOR i = 0 TO N - 1
+    IF MOD(i, 2) == 0
+      f = Finger(W = W, L = L, LNET = "s", RNET = "d")
+    ELSE
+      f = Finger(W = W, L = L, LNET = "d", RNET = "s")
+    ENDIF
+    compact(f, WEST, "pdiff")
+  ENDFOR
+END
+"""
+
+#: A serpentine poly resistor: loops, MOD parity, and rule queries — the
+#: pitch comes straight from the technology's SPACE rule.
+RESISTOR_SOURCE = """
+ENT Serpentine(<W>, <LSEG>, <NSEG>)
+  pitch = W + SPACERULE("poly", "poly")
+  FOR i = 0 TO NSEG - 1
+    WIRE("poly", 0, i * pitch, LSEG, i * pitch, W, net = "body")
+    IF i < NSEG - 1
+      IF MOD(i, 2) == 0
+        WIRE("poly", LSEG, i * pitch, LSEG, i * pitch + pitch, W, net = "body")
+      ELSE
+        WIRE("poly", 0, i * pitch, 0, i * pitch + pitch, W, net = "body")
+      ENDIF
+    ENDIF
+  ENDFOR
+  ADAPTOR("poly", "metal1", 0, 0, W, W, net = "body")
+  IF MOD(NSEG, 2) == 1
+    ADAPTOR("poly", "metal1", LSEG, (NSEG - 1) * pitch, W, W, net = "body")
+  ELSE
+    ADAPTOR("poly", "metal1", 0, (NSEG - 1) * pitch, W, W, net = "body")
+  ENDIF
+END
+"""
+
+#: A guarded transistor: the device, then a contacted substrate ring —
+#: with a backtracking choice between a tight and a relaxed ring gap.
+GUARDED_TRANSISTOR_SOURCE = TRANSISTOR_SOURCE + """
+ENT GuardedTransistor(<W>, <L>)
+  t = Transistor(W = W, L = L)
+  compact(t, WEST)
+  ALT
+    RING("subcontact", net = "sub")
+  ELSEALT
+    RING("subcontact", 4, 6, net = "sub")
+  ENDALT
+END
+"""
+
+#: Every named source, for enumeration in tests and docs.
+DSL_LIBRARY = {
+    "ContactRow": CONTACT_ROW_SOURCE,
+    "DiffPair": DIFF_PAIR_SOURCE,
+    "Transistor": TRANSISTOR_SOURCE,
+    "Mirror": CURRENT_MIRROR_SOURCE,
+    "Interdigitated": INTERDIGITATED_SOURCE,
+    "Serpentine": RESISTOR_SOURCE,
+    "GuardedTransistor": GUARDED_TRANSISTOR_SOURCE,
+}

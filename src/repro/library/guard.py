@@ -1,0 +1,76 @@
+"""Guard rings and substrate-contact rings.
+
+"The internal wiring and the substrate or well contacts are included into
+the modules" (Sec. 3).  A substrate ring both collects majority carriers and
+satisfies the latch-up rule of Fig. 1: ring geometry is placed with the RING
+primitive and contacted along all four sides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..compact import Compactor
+from ..db import ArrayLink, LayoutObject
+from ..geometry import Rect
+from ..primitives import ring
+from ..tech import Technology
+
+
+def substrate_ring(
+    obj: LayoutObject,
+    net: str = "sub",
+    layer: str = "subcontact",
+    width: Optional[float] = None,
+    contacted: bool = True,
+) -> List[Rect]:
+    """Surround *obj* with a substrate-contact ring (optionally metallised).
+
+    The ring is drawn on the substrate-contact diffusion with metal1 over it
+    and contact arrays along every side; returns the ring's diffusion rects.
+    Afterwards the latch-up check usually passes for module-sized layouts
+    (the temporary rectangles of the ring contacts cover the inner area).
+    """
+    tech = obj.tech
+    enc_metal = tech.enclosure_or_zero("metal1", "contact")
+    enc_diff = tech.enclosure_or_zero(layer, "contact")
+    cut = tech.cut_size("contact")
+    space = tech.min_space("contact", "contact") or cut
+    if width is not None:
+        ring_width = tech.um(width)
+    else:
+        # Wide enough to hold its contact row.
+        ring_width = max(
+            tech.min_width(layer), cut + 2 * max(enc_metal, enc_diff)
+        )
+    diff_rects = ring(obj, layer, width=ring_width, net=net)
+    if not contacted:
+        return diff_rects
+    for side in diff_rects:
+        metal = side.copy()
+        metal.layer = "metal1"
+        metal.net = net
+        obj.add_rect(metal)
+        margin = max(enc_metal, enc_diff)
+        link = ArrayLink(
+            "contact", cut, space,
+            [(side, margin), (metal, margin)], net,
+        )
+        link.rebuild()
+        if link.rects:
+            for rect in link.rects:
+                obj.rects.append(rect)
+            obj.add_link(link)
+    return diff_rects
+
+
+def guard_ring(
+    obj: LayoutObject,
+    net: str = "guard",
+    layer: str = "nwell",
+    width: Optional[float] = None,
+) -> List[Rect]:
+    """A plain (uncontacted) guard ring on *layer* around the structure."""
+    tech = obj.tech
+    ring_width = None if width is None else tech.um(width)
+    return ring(obj, layer, width=ring_width, net=net)

@@ -1,0 +1,222 @@
+"""Interdigitated and patterned transistor rows.
+
+The paper's complex modules (blocks A, C and E of the amplifier) are built
+from rows of gate fingers with shared diffusion columns.  A row is described
+by a finger pattern string — e.g. ``"AABB"`` or the module-E row
+``"DDABABDDDDBABADD"`` — where each letter selects a device and ``D`` marks a
+dummy transistor (gate and drain strapped to the source potential, the
+classic matching aid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction, Rect
+from ..primitives import tworects
+from ..route import wire
+from ..tech import Technology
+from .contact_row import contact_row
+
+
+@dataclass
+class DeviceNets:
+    """Nets of one device letter in a pattern.
+
+    ``gate_side`` optionally overrides the row default so two cross-coupled
+    devices can contact their gates on opposite sides (planar gate rails).
+    """
+
+    gate: str
+    drain: str
+    gate_side: Optional[str] = None
+
+
+def via_landing_um(tech: Technology) -> float:
+    """Smallest metal1 width (µm) that fully encloses a via landing."""
+    return (
+        tech.cut_size("via") + 2 * tech.enclosure_or_zero("metal1", "via")
+    ) / tech.dbu_per_micron
+
+
+def finger(
+    tech: Technology,
+    w: float,
+    length: float,
+    gate_net: str,
+    left_net: str,
+    right_net: str,
+    compactor: Compactor,
+    name: str,
+    gate_contact: bool = True,
+    gate_side: str = "north",
+    gate_row_length: Optional[float] = None,
+    gate_row_width: Optional[float] = None,
+    gate_row_variable: bool = True,
+    col_metal_min: Optional[float] = None,
+) -> LayoutObject:
+    """One gate finger with its two diffusion columns and gate row.
+
+    ``gate_row_length`` / ``gate_row_width`` size the poly contact row
+    beyond the defaults — needed when module wiring must land a via on the
+    row metal (see :func:`via_landing_um`); pass ``gate_row_variable=False``
+    in that case so compaction cannot shrink the landing below via size.
+    ``col_metal_min`` bounds the diffusion-column metal width (a via
+    landing) while leaving its edges variable.
+    """
+    obj = LayoutObject(name, tech)
+    core = LayoutObject(f"{name}_core", tech)
+    tworects(core, "poly", "pdiff", tech.um(w), tech.um(length), gate_net=gate_net)
+    compactor.compact(obj, core, Direction.SOUTH)
+    if gate_contact:
+        row_length = gate_row_length if gate_row_length is not None else length
+        gate_row = contact_row(
+            tech, "poly", w=gate_row_width, length=row_length,
+            net=gate_net, name=f"{name}_g",
+            variable_metal=gate_row_variable,
+        )
+        gate_dir = Direction.SOUTH if gate_side == "north" else Direction.NORTH
+        # No ignore list: the row's poly merges with the gate poly through
+        # the same-potential rule, while poly-to-active spacing keeps the
+        # row off the diffusion (the endcap overlap makes the connection).
+        compactor.compact(obj, gate_row, gate_dir)
+    col_height = None if col_metal_min is None else w
+    right_col = contact_row(
+        tech, "pdiff", w=w, net=right_net, name=f"{name}_r",
+        metal_min_width=col_metal_min, metal_min_height=col_height,
+    )
+    compactor.compact(obj, right_col, Direction.WEST, ignore_layers=("pdiff",))
+    left_col = contact_row(
+        tech, "pdiff", w=w, net=left_net, name=f"{name}_l",
+        metal_min_width=col_metal_min, metal_min_height=col_height,
+    )
+    compactor.compact(obj, left_col, Direction.EAST, ignore_layers=("pdiff",))
+    return obj
+
+
+def patterned_row(
+    tech: Technology,
+    w: float,
+    length: float,
+    pattern: str,
+    devices: Dict[str, DeviceNets],
+    source_net: str = "vss",
+    dummy_letter: str = "D",
+    gate_side: str = "north",
+    gate_row_length: Optional[float] = None,
+    gate_row_width: Optional[float] = None,
+    gate_row_variable: bool = True,
+    col_metal_min: Optional[float] = None,
+    compactor: Optional[Compactor] = None,
+    name: str = "Row",
+) -> LayoutObject:
+    """Build a row of gate fingers following *pattern*.
+
+    Every finger alternates orientation so neighbouring fingers share their
+    source columns (merged by the same-potential rule); drains face outward
+    on alternating sides.  Dummy fingers tie gate and drain to *source_net*.
+    """
+    if compactor is None:
+        compactor = Compactor()
+    if not pattern:
+        raise ValueError("empty finger pattern")
+    for letter in pattern:
+        if letter != dummy_letter and letter not in devices:
+            raise ValueError(f"pattern letter {letter!r} has no device nets")
+
+    row = LayoutObject(name, tech)
+    previous_right: Optional[str] = None
+    for index, letter in enumerate(pattern):
+        if letter == dummy_letter:
+            nets = DeviceNets(gate=source_net, drain=source_net)
+        else:
+            nets = devices[letter]
+        # Even fingers: source west / drain east; odd fingers mirrored, so
+        # source columns meet source columns and merge.
+        if index % 2 == 0:
+            left, right = source_net, nets.drain
+        else:
+            left, right = nets.drain, source_net
+        side = nets.gate_side if nets.gate_side is not None else gate_side
+        piece = finger(
+            tech, w, length, nets.gate, left, right, compactor,
+            name=f"{name}_f{index}", gate_side=side,
+            gate_row_length=gate_row_length, gate_row_width=gate_row_width,
+            gate_row_variable=gate_row_variable, col_metal_min=col_metal_min,
+        )
+        # Diffusion is only "not relevant" (merged) when the meeting columns
+        # share a potential; different nets must keep diffusion spacing.
+        if index == 0 or previous_right == left:
+            ignore = ("pdiff",)
+        else:
+            ignore = ()
+        compactor.compact(row, piece, Direction.WEST, ignore_layers=ignore)
+        previous_right = right
+    return row
+
+
+def interdigitated_transistor(
+    tech: Technology,
+    w: float,
+    length: float,
+    fingers: int,
+    gate_net: str = "g",
+    source_net: str = "s",
+    drain_net: str = "d",
+    col_metal_min: Optional[float] = None,
+    compactor: Optional[Compactor] = None,
+    name: str = "Interdigitated",
+) -> LayoutObject:
+    """A single device split into *fingers* parallel gate fingers.
+
+    This is block A's "inter-digital MOS transistor" style: all fingers share
+    gate, source and drain nets, so every inner diffusion column is shared.
+    """
+    if fingers < 1:
+        raise ValueError("fingers must be >= 1")
+    devices = {"A": DeviceNets(gate=gate_net, drain=drain_net)}
+    return patterned_row(
+        tech,
+        w,
+        length,
+        "A" * fingers,
+        devices,
+        source_net=source_net,
+        col_metal_min=col_metal_min,
+        compactor=compactor,
+        name=name,
+    )
+
+
+def strap_net(
+    obj: LayoutObject,
+    net: str,
+    side: Direction,
+    layer: str = "metal1",
+    width: Optional[int] = None,
+    compactor: Optional[Compactor] = None,
+) -> LayoutObject:
+    """Compact a metal strap onto one side, auto-connecting a net (Fig. 5a).
+
+    "Simple wiring can be performed by compacting a rectangle whose edges are
+    on the same potential as the edges of the rectangles which shall be
+    connected."  The strap spans the object's full perpendicular extent and
+    is compacted toward *side*; same-net columns are connected automatically.
+    """
+    if compactor is None:
+        compactor = Compactor()
+    if width is None:
+        width = obj.tech.min_width(layer)
+    box = obj.bbox()
+    if box is None:
+        raise ValueError("cannot strap an empty object")
+    strap = LayoutObject(f"{obj.name}_strap_{net}", obj.tech)
+    if side.axis is side.axis.VERTICAL:
+        strap.add_rect(Rect(box.x1, 0, box.x2, width, layer, net))
+    else:
+        strap.add_rect(Rect(0, box.y1, width, box.y2, layer, net))
+    compactor.compact(obj, strap, side)
+    return obj

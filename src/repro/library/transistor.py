@@ -1,0 +1,189 @@
+"""Single MOS transistor modules with internal contacts.
+
+A vertical-gate device: the poly bar runs north-south, source/drain
+diffusion columns sit west/east, the gate contact row lands on the north
+endcap — the compaction flow of the paper's ``Trans`` entity (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..geometry import Direction, Rect
+from ..primitives import tworects
+from ..route import wire
+from ..tech import Technology
+from .contact_row import contact_row
+
+
+def mos_transistor(
+    tech: Technology,
+    w: float,
+    length: float,
+    gate_net: str = "g",
+    source_net: str = "s",
+    drain_net: str = "d",
+    body_layer: str = "pdiff",
+    gate_contact: bool = True,
+    source_contact: bool = True,
+    drain_contact: bool = True,
+    gate_side: str = "north",
+    col_metal_min: Optional[float] = None,
+    compactor: Optional[Compactor] = None,
+    name: str = "MOS",
+) -> LayoutObject:
+    """Build one MOS transistor with its internal contact rows.
+
+    ``w``/``length`` are channel width and length in microns.  The source
+    column compacts onto the west side, the drain column onto the east side
+    and the gate row onto the ``gate_side`` endcap ("north" or "south"); the
+    body diffusion merges with the contact columns ("connected automatically
+    ... on the same potential").
+    """
+    if compactor is None:
+        compactor = Compactor()
+    if gate_side not in ("north", "south"):
+        raise ValueError("gate_side must be 'north' or 'south'")
+    obj = LayoutObject(name, tech)
+
+    core = LayoutObject(f"{name}_core", tech)
+    tworects(
+        core,
+        "poly",
+        body_layer,
+        tech.um(w),
+        tech.um(length),
+        gate_net=gate_net,
+        body_net=None,
+    )
+    compactor.compact(obj, core, Direction.SOUTH)
+
+    if gate_contact:
+        gate_row = contact_row(
+            tech, "poly", length=length, net=gate_net, name=f"{name}_gc"
+        )
+        gate_dir = Direction.SOUTH if gate_side == "north" else Direction.NORTH
+        # No ignore list needed: the row's poly and the gate poly share the
+        # gate net, so the same-potential rule lets them merge while the
+        # poly-to-active spacing keeps the row clear of the diffusion.
+        compactor.compact(obj, gate_row, gate_dir)
+    col_height = None if col_metal_min is None else w
+    if drain_contact:
+        drain_col = contact_row(
+            tech, body_layer, w=w, net=drain_net, name=f"{name}_dc",
+            metal_min_width=col_metal_min, metal_min_height=col_height,
+        )
+        compactor.compact(obj, drain_col, Direction.WEST, ignore_layers=(body_layer,))
+    if source_contact:
+        source_col = contact_row(
+            tech, body_layer, w=w, net=source_net, name=f"{name}_sc",
+            metal_min_width=col_metal_min, metal_min_height=col_height,
+        )
+        compactor.compact(obj, source_col, Direction.EAST, ignore_layers=(body_layer,))
+    return obj
+
+
+def diode_transistor(
+    tech: Technology,
+    w: float,
+    length: float,
+    anode_net: str = "bias",
+    source_net: str = "vss",
+    body_layer: str = "pdiff",
+    compactor: Optional[Compactor] = None,
+    name: str = "DiodeMOS",
+) -> LayoutObject:
+    """Diode-connected transistor: gate strapped to its drain in metal1.
+
+    One of the few module types the paper lists as recurring in analog
+    circuits; the strap runs from the gate contact row down the drain side.
+    """
+    obj = mos_transistor(
+        tech,
+        w,
+        length,
+        gate_net=anode_net,
+        source_net=source_net,
+        drain_net=anode_net,
+        body_layer=body_layer,
+        compactor=compactor,
+        name=name,
+    )
+    gate_metal = _net_rects_on(obj, anode_net, "metal1", above=True)
+    drain_metal = _net_rects_on(obj, anode_net, "metal1", above=False)
+    if gate_metal and drain_metal:
+        gx = (gate_metal.x1 + gate_metal.x2) // 2
+        gy = (gate_metal.y1 + gate_metal.y2) // 2
+        dx_ = (drain_metal.x1 + drain_metal.x2) // 2
+        dy = (drain_metal.y1 + drain_metal.y2) // 2
+        width = tech.min_width("metal1")
+        # Jog east along the gate row, then drop down the drain column — the
+        # route stays on anode-net geometry, clear of the source column.
+        if gx != dx_:
+            wire(obj, "metal1", (gx, gy), (dx_, gy), width=width, net=anode_net)
+        wire(obj, "metal1", (dx_, gy), (dx_, dy), width=width, net=anode_net)
+    return obj
+
+
+def stacked_transistor(
+    tech: Technology,
+    w: float,
+    length: float,
+    gates: int = 2,
+    gate_nets: Optional[list] = None,
+    source_net: str = "s",
+    drain_net: str = "d",
+    body_layer: str = "pdiff",
+    compactor: Optional[Compactor] = None,
+    name: str = "Stacked",
+) -> LayoutObject:
+    """Series-stacked transistor: gates share diffusion with no contacts between.
+
+    One of the module types the paper lists explicitly ("stacked
+    transistors"): the internal source/drain nodes are uncontacted diffusion
+    — minimum parasitic capacitance on the internal nodes, exactly why
+    analog designers stack cascodes this way.  Contacts exist only at the
+    outer source and drain.
+    """
+    if gates < 1:
+        raise ValueError("a stack needs at least one gate")
+    if gate_nets is None:
+        gate_nets = [f"g{i + 1}" for i in range(gates)]
+    if len(gate_nets) != gates:
+        raise ValueError("gate_nets must match the gate count")
+    if compactor is None:
+        compactor = Compactor()
+
+    stack = LayoutObject(name, tech)
+    for index, gate_net in enumerate(gate_nets):
+        piece = LayoutObject(f"{name}_g{index}", tech)
+        tworects(
+            piece, "poly", body_layer, tech.um(w), tech.um(length),
+            gate_net=gate_net,
+        )
+        gate_row = contact_row(
+            tech, "poly", length=length, net=gate_net, name=f"{name}_gr{index}"
+        )
+        compactor.compact(piece, gate_row, Direction.SOUTH)
+        # Adjacent gates share diffusion directly — "pdiff" is not relevant,
+        # and the poly-poly spacing rule sets the stack pitch.
+        compactor.compact(stack, piece, Direction.WEST, ignore_layers=(body_layer,))
+
+    source_col = contact_row(tech, body_layer, w=w, net=source_net,
+                             name=f"{name}_s")
+    compactor.compact(stack, source_col, Direction.EAST, ignore_layers=(body_layer,))
+    drain_col = contact_row(tech, body_layer, w=w, net=drain_net,
+                            name=f"{name}_d")
+    compactor.compact(stack, drain_col, Direction.WEST, ignore_layers=(body_layer,))
+    return stack
+
+
+def _net_rects_on(
+    obj: LayoutObject, net: str, layer: str, above: bool
+) -> Optional[Rect]:
+    rects = [r for r in obj.rects_on(layer) if r.net == net]
+    if not rects:
+        return None
+    return max(rects, key=lambda r: r.y1) if above else min(rects, key=lambda r: r.y1)

@@ -1,0 +1,18 @@
+"""Optimization: rating, compaction-order search, variant backtracking."""
+
+from .anneal import AnnealingOrderOptimizer, AnnealSchedule
+from .backtrack import BacktrackError, VariantResult, select_variant
+from .order import OrderOptimizer, OrderResult, Step
+from .rating import Rating
+
+__all__ = [
+    "AnnealingOrderOptimizer",
+    "AnnealSchedule",
+    "BacktrackError",
+    "VariantResult",
+    "select_variant",
+    "OrderOptimizer",
+    "OrderResult",
+    "Step",
+    "Rating",
+]

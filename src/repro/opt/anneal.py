@@ -1,0 +1,117 @@
+"""Simulated-annealing compaction-order search.
+
+The paper contrasts its exhaustive order enumeration with the simulated-
+annealing placement style of KOAN/ANAGRAM [4].  For large step counts, where
+enumeration explodes and the beam's greediness can mislead, annealing over
+order permutations is the classic middle ground — included here as the
+third search strategy and as an ablation subject.
+
+The random source is injected (a seeded ``random.Random``) so results are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..tech import Technology
+from .order import OrderResult, Step
+from .rating import Rating
+
+
+@dataclass
+class AnnealSchedule:
+    """Cooling schedule for :class:`AnnealingOrderOptimizer`."""
+
+    initial_temperature: float = 0.30  # relative to the initial score
+    cooling: float = 0.90
+    moves_per_temperature: int = 8
+    minimum_temperature: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        if self.moves_per_temperature < 1:
+            raise ValueError("moves_per_temperature must be >= 1")
+
+
+class AnnealingOrderOptimizer:
+    """Anneal over compaction-order permutations (swap moves)."""
+
+    def __init__(
+        self,
+        compactor: Optional[Compactor] = None,
+        rating: Optional[Rating] = None,
+        schedule: Optional[AnnealSchedule] = None,
+        seed: int = 1996,
+    ) -> None:
+        self.compactor = compactor if compactor is not None else Compactor()
+        self.rating = rating if rating is not None else Rating()
+        self.schedule = schedule if schedule is not None else AnnealSchedule()
+        self.seed = seed
+
+    def optimize(
+        self, name: str, tech: Technology, steps: Sequence[Step]
+    ) -> OrderResult:
+        """Anneal from the identity order; returns the best order found."""
+        steps = list(steps)
+        if not steps:
+            raise ValueError("no compaction steps to optimize")
+        rng = random.Random(self.seed)
+
+        order = tuple(range(len(steps)))
+        current = self._evaluate(name, tech, steps, order)
+        best_order, best_score = order, current
+        evaluated = 1
+        scores = {order: current}
+
+        temperature = self.schedule.initial_temperature * max(current, 1e-9)
+        floor = self.schedule.minimum_temperature * max(current, 1e-9)
+        while temperature > floor and len(steps) > 1:
+            for _ in range(self.schedule.moves_per_temperature):
+                i, j = rng.sample(range(len(steps)), 2)
+                candidate = list(order)
+                candidate[i], candidate[j] = candidate[j], candidate[i]
+                candidate_order = tuple(candidate)
+                score = scores.get(candidate_order)
+                if score is None:
+                    score = self._evaluate(name, tech, steps, candidate_order)
+                    scores[candidate_order] = score
+                    evaluated += 1
+                delta = score - current
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    order, current = candidate_order, score
+                    if current < best_score:
+                        best_order, best_score = order, current
+            temperature *= self.schedule.cooling
+
+        best = self._run(name, tech, steps, best_order)
+        return OrderResult(best, best_order, best_score, evaluated, scores)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        name: str,
+        tech: Technology,
+        steps: Sequence[Step],
+        order: Tuple[int, ...],
+    ) -> LayoutObject:
+        main = LayoutObject(name, tech)
+        for index in order:
+            step = steps[index].fresh()
+            self.compactor.compact(main, step.obj, step.direction, step.ignore)
+        return main
+
+    def _evaluate(
+        self,
+        name: str,
+        tech: Technology,
+        steps: Sequence[Step],
+        order: Tuple[int, ...],
+    ) -> float:
+        return self.rating.evaluate(self._run(name, tech, steps, order))

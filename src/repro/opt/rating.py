@@ -1,0 +1,77 @@
+"""The rating function (Sec. 2.4).
+
+"Each solution is evaluated by a rating function which considers the area and
+electrical conditions."  The electrical term has two parts:
+
+* weighted parasitic capacitance of designer-marked sensitive nets (signal
+  path nodes whose capacitance the paper minimises);
+* cross-net coupling: overlap area between conducting geometry on different
+  nets (the parasitic the *no_overlap* rect property guards against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..db import LayoutObject, estimate_net_capacitance
+
+
+@dataclass
+class Rating:
+    """Configurable layout cost: lower is better.
+
+    ``area_weight`` scales the bounding-box area (in µm² after dbu
+    conversion, so weights stay technology independent).  Entries in
+    ``capacitance_weights`` mark sensitive nets; ``coupling_weight`` scales
+    the different-net overlap area; ``pair_mismatch_weights`` penalise the
+    relative capacitance mismatch of matched net pairs (the paper's
+    "matching requirements" as a rating term).
+    """
+
+    area_weight: float = 1.0
+    capacitance_weights: Dict[str, float] = field(default_factory=dict)
+    coupling_weight: float = 0.0
+    pair_mismatch_weights: Dict[Tuple[str, str], float] = field(
+        default_factory=dict
+    )
+
+    def evaluate(self, obj: LayoutObject) -> float:
+        """Score a finished module; lower is better."""
+        dbu2 = obj.tech.dbu_per_micron ** 2
+        score = self.area_weight * (obj.area() / dbu2)
+        for net, weight in self.capacitance_weights.items():
+            score += weight * estimate_net_capacitance(obj.rects, obj.tech, net)
+        if self.coupling_weight:
+            score += self.coupling_weight * (self.coupling_area(obj) / dbu2)
+        for (net_a, net_b), weight in self.pair_mismatch_weights.items():
+            score += weight * self.pair_mismatch(obj, net_a, net_b)
+        return score
+
+    @staticmethod
+    def pair_mismatch(obj: LayoutObject, net_a: str, net_b: str) -> float:
+        """Relative capacitance mismatch of a matched pair, in [0, 1]."""
+        cap_a = estimate_net_capacitance(obj.rects, obj.tech, net_a)
+        cap_b = estimate_net_capacitance(obj.rects, obj.tech, net_b)
+        top = max(cap_a, cap_b)
+        if top == 0:
+            return 0.0
+        return abs(cap_a - cap_b) / top
+
+    @staticmethod
+    def coupling_area(obj: LayoutObject) -> int:
+        """Total overlap area between conducting rects on different nets."""
+        rects = [
+            r
+            for r in obj.nonempty_rects
+            if r.net is not None and obj.tech.layer(r.layer).conducting
+        ]
+        total = 0
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                if a.net == b.net or a.layer == b.layer:
+                    continue
+                overlap = a.intersection(b)
+                if overlap is not None:
+                    total += overlap.area
+        return total

@@ -1,0 +1,24 @@
+"""Primitive shape functions — the paper's geometry-creation vocabulary.
+
+Every function here is design-rule driven: callers supply intent (which
+layer, optionally which size) and the primitive consults the technology for
+overlaps, expansions and defaults, exactly as Sec. 2.2 describes.
+"""
+
+from .array import array
+from .inbox import inbox
+from .shapes import angle_adaptor, around, ring, tworects
+from .util import default_extent, enclosure_margin, expand_outers, inner_region
+
+__all__ = [
+    "array",
+    "inbox",
+    "angle_adaptor",
+    "around",
+    "ring",
+    "tworects",
+    "default_extent",
+    "enclosure_margin",
+    "expand_outers",
+    "inner_region",
+]

@@ -1,0 +1,75 @@
+"""ARRAY — "creating an array of rectangles inside other rectangles" (Sec. 2.2).
+
+"The maximum number of rectangles which fits horizontally and vertically into
+the structure is calculated according to the necessary overlap and the
+contacts are placed equidistantly to minimize the contact resistance.  If no
+rectangle can be placed, the outer geometries are expanded so that at least
+one rectangle can be generated."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..db import ArrayLink, LayoutObject
+from ..geometry import Axis, Rect
+from ..tech import RuleError
+from .util import enclosure_margin, expand_outers
+
+
+def array(
+    obj: LayoutObject,
+    layer: str,
+    net: Optional[str] = None,
+) -> List[Rect]:
+    """Fill the structure with the maximal equidistant grid of cuts.
+
+    *layer* must be a cut layer (CUTSIZE rule present).  Returns the placed
+    cut rects; the registered :class:`~repro.db.links.ArrayLink` keeps them
+    consistent under later edge movement.
+    """
+    cut_size = obj.tech.rules.cut_size(layer)
+    if cut_size is None:
+        raise RuleError(f"ARRAY({layer!r}): layer has no CUTSIZE rule")
+    cut_space = obj.tech.min_space(layer, layer)
+    if cut_space is None:
+        raise RuleError(f"ARRAY({layer!r}): layer has no SPACE rule")
+    if obj.is_empty():
+        raise RuleError(f"ARRAY({layer!r}): structure is empty")
+
+    outers = list(obj.nonempty_rects)
+    link = ArrayLink(
+        layer,
+        cut_size,
+        cut_space,
+        [(outer, enclosure_margin(obj, outer.layer, layer)) for outer in outers],
+        net,
+    )
+
+    # Expand the outers until at least one cut fits along each axis.
+    region = link.region()
+    if region is None or region.width < cut_size:
+        have = region.width if region is not None else _region_extent(link, Axis.HORIZONTAL)
+        expand_outers(obj, outers, Axis.HORIZONTAL, cut_size - have)
+    region = link.region()
+    if region is None or region.height < cut_size:
+        have = region.height if region is not None else _region_extent(link, Axis.VERTICAL)
+        expand_outers(obj, outers, Axis.VERTICAL, cut_size - have)
+
+    link.rebuild()
+    assert link.rects, "ARRAY expansion must yield at least one cut"
+    for rect in link.rects:
+        obj.rects.append(rect)
+    obj.add_link(link)
+    return list(link.rects)
+
+
+def _region_extent(link: ArrayLink, axis: Axis) -> int:
+    """Signed extent of the (possibly inverted) array region along *axis*."""
+    if axis is Axis.HORIZONTAL:
+        lo = max(o.x1 + m for o, m in link.outers)
+        hi = min(o.x2 - m for o, m in link.outers)
+    else:
+        lo = max(o.y1 + m for o, m in link.outers)
+        hi = min(o.y2 - m for o, m in link.outers)
+    return hi - lo

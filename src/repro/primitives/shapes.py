@@ -1,0 +1,183 @@
+"""The remaining primitive shape functions of Sec. 2.2.
+
+* :func:`tworects` — "creating two overlapping rectangles": the MOS (or
+  bipolar) device core, a gate bar crossing an active area, both sized from
+  the EXTEND rules.
+* :func:`around` — "placing a rectangle around a structure": covers the
+  current structure with the enclosures the technology demands (wells,
+  implants, locos).
+* :func:`ring` — "placing a ring around a structure": four rectangles forming
+  a closed guard ring at rule spacing.
+* :func:`angle_adaptor` — "producing an angle adaptor for wiring purposes":
+  the corner patch joining two orthogonal wires, with a via stack when the
+  wires sit on different metal levels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..db import LayoutObject
+from ..geometry import Rect, bounding_box
+from ..tech import RuleError
+from .util import enclosure_margin
+
+
+def tworects(
+    obj: LayoutObject,
+    gate_layer: str,
+    body_layer: str,
+    w: int,
+    length: int,
+    gate_net: Optional[str] = None,
+    body_net: Optional[str] = None,
+) -> Tuple[Rect, Rect]:
+    """Create a transistor core: a *gate_layer* bar crossing a *body_layer* area.
+
+    ``w`` is the channel width (vertical extent of the active area), ``length``
+    the channel length (horizontal extent of the gate bar).  The gate extends
+    past the body by the EXTEND(gate, body) rule (endcaps) and the body past
+    the gate by EXTEND(body, gate) (source/drain areas).  The device is centred
+    on the origin; returns (gate rect, body rect).
+    """
+    if w <= 0 or length <= 0:
+        raise RuleError("TWORECTS: W and L must be positive")
+    endcap = obj.tech.extension(gate_layer, body_layer)
+    sd_ext = obj.tech.extension(body_layer, gate_layer)
+
+    gate = Rect(
+        -length // 2,
+        -(w // 2) - endcap,
+        -length // 2 + length,
+        -(w // 2) - endcap + w + 2 * endcap,
+        gate_layer,
+        gate_net,
+    )
+    body = Rect(
+        -length // 2 - sd_ext,
+        -(w // 2),
+        -length // 2 + length + sd_ext,
+        -(w // 2) + w,
+        body_layer,
+        body_net,
+    )
+    obj.add_rect(gate)
+    obj.add_rect(body)
+    return gate, body
+
+
+def around(
+    obj: LayoutObject,
+    layer: str,
+    margin: Optional[int] = None,
+    net: Optional[str] = None,
+) -> Rect:
+    """Cover the structure with one rectangle on *layer*.
+
+    The margin defaults to the largest enclosure the technology requires of
+    *layer* around any layer present in the structure (e.g. nwell enclosure
+    of pdiff); an explicit *margin* overrides the lookup.
+    """
+    box = bounding_box(obj.nonempty_rects)
+    if box is None:
+        raise RuleError(f"AROUND({layer!r}): structure is empty")
+    if margin is None:
+        margin = 0
+        for present in obj.layers():
+            rule = obj.tech.rules.enclose(layer, present)
+            if rule is not None:
+                margin = max(margin, rule)
+    rect = Rect(
+        box.x1 - margin, box.y1 - margin, box.x2 + margin, box.y2 + margin, layer, net
+    )
+    return obj.add_rect(rect)
+
+
+def ring(
+    obj: LayoutObject,
+    layer: str,
+    width: Optional[int] = None,
+    gap: Optional[int] = None,
+    net: Optional[str] = None,
+) -> List[Rect]:
+    """Surround the structure with a closed four-rect ring on *layer*.
+
+    ``width`` defaults to the layer's minimum width.  ``gap`` (ring to
+    structure) defaults to the largest spacing rule between *layer* and any
+    layer present.  Returns [south, north, west, east] ring rects.
+    """
+    box = bounding_box(obj.nonempty_rects)
+    if box is None:
+        raise RuleError(f"RING({layer!r}): structure is empty")
+    if width is None:
+        width = obj.tech.min_width(layer)
+    if gap is None:
+        gap = 0
+        for present in obj.layers():
+            rule = obj.tech.min_space(layer, present)
+            if rule is not None:
+                gap = max(gap, rule)
+
+    x1, y1 = box.x1 - gap - width, box.y1 - gap - width
+    x2, y2 = box.x2 + gap + width, box.y2 + gap + width
+    south = Rect(x1, y1, x2, y1 + width, layer, net)
+    north = Rect(x1, y2 - width, x2, y2, layer, net)
+    west = Rect(x1, y1 + width, x1 + width, y2 - width, layer, net)
+    east = Rect(x2 - width, y1 + width, x2, y2 - width, layer, net)
+    for rect in (south, north, west, east):
+        obj.add_rect(rect)
+    return [south, north, west, east]
+
+
+def angle_adaptor(
+    obj: LayoutObject,
+    h_layer: str,
+    v_layer: str,
+    x: int,
+    y: int,
+    h_width: Optional[int] = None,
+    v_width: Optional[int] = None,
+    net: Optional[str] = None,
+) -> List[Rect]:
+    """Create the corner patch joining a horizontal and a vertical wire.
+
+    The horizontal wire runs on *h_layer* with width ``h_width`` (vertical
+    extent) and the vertical wire on *v_layer* with width ``v_width``; the
+    wires meet at (x, y), the corner's centre.  Same layer → one square patch.
+    Different layers → both patches plus the connecting cut array, sized so
+    the cut's enclosure rules hold.  Returns the created rects.
+    """
+    h_width = h_width if h_width is not None else obj.tech.min_width(h_layer)
+    v_width = v_width if v_width is not None else obj.tech.min_width(v_layer)
+
+    if h_layer == v_layer:
+        half_w = v_width // 2
+        half_h = h_width // 2
+        patch = Rect(
+            x - half_w, y - half_h, x - half_w + v_width, y - half_h + h_width,
+            h_layer, net,
+        )
+        obj.add_rect(patch)
+        return [patch]
+
+    cut_layer = obj.tech.cut_between(h_layer, v_layer)
+    if cut_layer is None:
+        raise RuleError(
+            f"angle adaptor: no cut layer connects {h_layer!r} and {v_layer!r}"
+        )
+    cut_size = obj.tech.cut_size(cut_layer)
+    enc_h = enclosure_margin(obj, h_layer, cut_layer)
+    enc_v = enclosure_margin(obj, v_layer, cut_layer)
+
+    side_h = max(h_width, cut_size + 2 * enc_h)
+    side_v = max(v_width, cut_size + 2 * enc_v)
+    patch_h = Rect(x - side_h // 2, y - side_h // 2, x - side_h // 2 + side_h,
+                   y - side_h // 2 + side_h, h_layer, net)
+    patch_v = Rect(x - side_v // 2, y - side_v // 2, x - side_v // 2 + side_v,
+                   y - side_v // 2 + side_v, v_layer, net)
+    cut = Rect(x - cut_size // 2, y - cut_size // 2,
+               x - cut_size // 2 + cut_size, y - cut_size // 2 + cut_size,
+               cut_layer, net)
+    for rect in (patch_h, patch_v, cut):
+        obj.add_rect(rect)
+    return [patch_h, patch_v, cut]

@@ -1,0 +1,23 @@
+"""Routing routines for module-internal wiring."""
+
+from .river import river_route
+from .symmetric import (
+    count_crossings,
+    mirror_point,
+    route_symmetric_pair,
+    symmetric_via_pair,
+    verify_mirror_symmetry,
+)
+from .wire import path, via_stack, wire
+
+__all__ = [
+    "river_route",
+    "count_crossings",
+    "mirror_point",
+    "route_symmetric_pair",
+    "symmetric_via_pair",
+    "verify_mirror_symmetry",
+    "path",
+    "via_stack",
+    "wire",
+]

@@ -1,0 +1,82 @@
+"""River routing: planar single-layer routing between two pin rows.
+
+Connects an ordered row of source pins to an equally ordered row of target
+pins without crossings — the standard situation inside a module where a
+device row must reach a contact row.  Each connection is a vertical-
+horizontal-vertical Z; horizontal jogs are staggered onto separate tracks at
+rule spacing so the wires never conflict.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..db import LayoutObject
+from ..geometry import Rect
+from ..tech import RuleError
+from .wire import path
+
+Coordinate = Tuple[int, int]
+
+
+def river_route(
+    obj: LayoutObject,
+    layer: str,
+    sources: Sequence[Coordinate],
+    targets: Sequence[Coordinate],
+    nets: Optional[Sequence[Optional[str]]] = None,
+    width: Optional[int] = None,
+    spacing: Optional[int] = None,
+) -> List[List[Rect]]:
+    """Route sources[i] → targets[i] planar on one layer.
+
+    Sources and targets must be in the same left-to-right order (the planarity
+    condition of river routing); a violation raises ``RuleError``.  Returns
+    one rect list per connection.
+    """
+    if len(sources) != len(targets):
+        raise RuleError("river routing needs equally many sources and targets")
+    if not sources:
+        return []
+    if nets is None:
+        nets = [None] * len(sources)
+    if len(nets) != len(sources):
+        raise RuleError("nets must match the pin count")
+    if width is None:
+        width = obj.tech.min_width(layer)
+    if spacing is None:
+        rule = obj.tech.min_space(layer, layer)
+        spacing = rule if rule is not None else width
+
+    order_s = [x for x, _ in sources]
+    order_t = [x for x, _ in targets]
+    if sorted(order_s) != order_s or sorted(order_t) != order_t:
+        raise RuleError("river routing requires monotonically ordered pins")
+
+    # Tracks live between the two rows; going upward (sources below).
+    upward = targets[0][1] >= sources[0][1]
+    y_lo = max(y for _, y in sources) if upward else max(y for _, y in targets)
+    y_hi = min(y for _, y in targets) if upward else min(y for _, y in sources)
+    gap = y_hi - y_lo
+    pitch = width + spacing
+    needed = pitch * len(sources)
+    if gap < needed:
+        raise RuleError(
+            f"river routing channel too small: gap {gap} dbu, need {needed} dbu"
+        )
+
+    routes: List[List[Rect]] = []
+    for index, ((sx, sy), (tx, ty)) in enumerate(zip(sources, targets)):
+        # Stagger tracks so neighbouring jogs keep rule spacing.  Left-going
+        # jogs take low tracks first, right-going jogs high tracks first, the
+        # classic river discipline that keeps the routing planar.
+        track = y_lo + pitch * (index + 1) - spacing // 2
+        if not upward:
+            track = y_hi - (track - y_lo)
+        points: List[Coordinate] = [(sx, sy)]
+        if sx != tx:
+            points.append((sx, track))
+            points.append((tx, track))
+        points.append((tx, ty))
+        routes.append(path(obj, layer, points, width, nets[index]))
+    return routes

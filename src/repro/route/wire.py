@@ -1,0 +1,113 @@
+"""Elementary wiring: straight wires, L-shaped wires, via stacks.
+
+These are the building blocks of the module-internal wiring the paper's
+environment performs; corners between orthogonal segments use the
+angle-adaptor primitive so layer changes get their cut arrays automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..db import LayoutObject
+from ..geometry import Point, Rect
+from ..primitives import angle_adaptor
+from ..tech import RuleError
+
+Coordinate = Tuple[int, int]
+
+
+def wire(
+    obj: LayoutObject,
+    layer: str,
+    start: Coordinate,
+    end: Coordinate,
+    width: Optional[int] = None,
+    net: Optional[str] = None,
+) -> Rect:
+    """Draw one straight wire segment centred on the start→end line.
+
+    The segment must be horizontal or vertical; *width* defaults to the
+    layer's minimum width.  Returns the created rect.
+    """
+    if width is None:
+        width = obj.tech.min_width(layer)
+    (x1, y1), (x2, y2) = start, end
+    if x1 != x2 and y1 != y2:
+        raise RuleError("wire segments must be horizontal or vertical")
+    half = width // 2
+    if y1 == y2:  # horizontal
+        rect = Rect(min(x1, x2), y1 - half, max(x1, x2), y1 - half + width, layer, net)
+    else:  # vertical
+        rect = Rect(x1 - half, min(y1, y2), x1 - half + width, max(y1, y2), layer, net)
+    if rect.is_empty:
+        raise RuleError("wire segment has zero length")
+    return obj.add_rect(rect)
+
+
+def path(
+    obj: LayoutObject,
+    layer: str,
+    points: Sequence[Coordinate],
+    width: Optional[int] = None,
+    net: Optional[str] = None,
+) -> List[Rect]:
+    """Draw a rectilinear polyline wire through *points* on one layer.
+
+    Corners get an angle adaptor (a same-layer corner patch) so the joint is
+    always a full-width square.  Returns all created rects.
+    """
+    if len(points) < 2:
+        raise RuleError("a path needs at least two points")
+    if width is None:
+        width = obj.tech.min_width(layer)
+    rects: List[Rect] = []
+    for a, b in zip(points, points[1:]):
+        if a == b:
+            continue
+        rects.append(wire(obj, layer, a, b, width, net))
+    for corner in points[1:-1]:
+        rects.extend(
+            angle_adaptor(obj, layer, layer, corner[0], corner[1], width, width, net)
+        )
+    return rects
+
+
+def via_stack(
+    obj: LayoutObject,
+    x: int,
+    y: int,
+    bottom_layer: str,
+    top_layer: str,
+    net: Optional[str] = None,
+) -> List[Rect]:
+    """Create a layer-change stack at (x, y): both plates plus the cut.
+
+    The plates are sized to the cut's enclosure rules on each layer.
+    Returns [bottom plate, top plate, cut].
+    """
+    cut_layer = obj.tech.cut_between(bottom_layer, top_layer)
+    if cut_layer is None:
+        raise RuleError(
+            f"no cut layer connects {bottom_layer!r} and {top_layer!r}"
+        )
+    cut_size = obj.tech.cut_size(cut_layer)
+    rects: List[Rect] = []
+    for plate_layer in (bottom_layer, top_layer):
+        enc = obj.tech.enclosure_or_zero(plate_layer, cut_layer)
+        side = cut_size + 2 * enc
+        half = side // 2
+        rects.append(
+            obj.add_rect(
+                Rect(x - half, y - half, x - half + side, y - half + side,
+                     plate_layer, net)
+            )
+        )
+    half = cut_size // 2
+    rects.append(
+        obj.add_rect(
+            Rect(x - half, y - half, x - half + cut_size, y - half + cut_size,
+                 cut_layer, net)
+        )
+    )
+    return rects

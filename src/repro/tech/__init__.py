@@ -1,0 +1,26 @@
+"""Technology subsystem: layers, design rules, technology files."""
+
+from .builtin import BUILTIN_TECHNOLOGIES, generic_bicmos_1u, generic_cmos_05u, get_technology
+from .fileformat import TechFileError, dump_tech, dumps_tech, load_tech, loads_tech
+from .layer import FILL_PATTERNS, Layer, LayerKind
+from .rules import CapacitanceRule, RuleError, RuleSet
+from .technology import Technology
+
+__all__ = [
+    "BUILTIN_TECHNOLOGIES",
+    "generic_bicmos_1u",
+    "generic_cmos_05u",
+    "get_technology",
+    "TechFileError",
+    "dump_tech",
+    "dumps_tech",
+    "load_tech",
+    "loads_tech",
+    "FILL_PATTERNS",
+    "Layer",
+    "LayerKind",
+    "CapacitanceRule",
+    "RuleError",
+    "RuleSet",
+    "Technology",
+]

@@ -1,0 +1,71 @@
+"""Layer definitions for a technology.
+
+A layer couples a mask name with its GDSII stream number, a functional kind
+(used by primitives and DRC to decide which rules apply), and a fill pattern
+tag used by the SVG renderer to reproduce the paper's Fig. 4 legend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LayerKind(enum.Enum):
+    """Functional classification of a mask layer."""
+
+    DIFFUSION = "diffusion"  # active areas (pdiff / ndiff / locos)
+    POLY = "poly"
+    METAL = "metal"
+    CUT = "cut"  # contacts and vias
+    WELL = "well"
+    IMPLANT = "implant"
+    BIPOLAR = "bipolar"  # buried layer, emitter, base poly
+    MARKER = "marker"  # non-mask helper layers
+
+
+#: SVG fill-pattern tags understood by :mod:`repro.io.svg` (Fig. 4).
+FILL_PATTERNS = (
+    "solid",
+    "hatch-left",
+    "hatch-right",
+    "cross-hatch",
+    "dots",
+    "horizontal",
+    "vertical",
+    "dense-dots",
+)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single mask layer.
+
+    ``conducting`` layers carry nets and participate in the electrical model;
+    marker layers never do.
+    """
+
+    name: str
+    gds_number: int
+    kind: LayerKind
+    fill_pattern: str = "solid"
+    color: str = "#888888"
+    gds_datatype: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fill_pattern not in FILL_PATTERNS:
+            raise ValueError(
+                f"layer {self.name!r}: unknown fill pattern {self.fill_pattern!r};"
+                f" choose one of {FILL_PATTERNS}"
+            )
+
+    @property
+    def conducting(self) -> bool:
+        """True for layers that carry electrical potentials."""
+        return self.kind in (
+            LayerKind.DIFFUSION,
+            LayerKind.POLY,
+            LayerKind.METAL,
+            LayerKind.CUT,
+            LayerKind.BIPOLAR,
+        )

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.compact import Compactor
+from repro.tech import generic_bicmos_1u, generic_cmos_05u
+
+
+@pytest.fixture
+def tech():
+    """The paper-substitute 1 µm BiCMOS technology."""
+    return generic_bicmos_1u()
+
+
+@pytest.fixture
+def tech05():
+    """The scaled 0.5 µm CMOS technology (technology-independence tests)."""
+    return generic_cmos_05u()
+
+
+@pytest.fixture
+def compactor():
+    """A default successive compactor (all paper features on)."""
+    return Compactor()

@@ -1,0 +1,101 @@
+"""Baselines: coordinate-level generation [11] and graph compaction [17,18]."""
+
+import inspect
+
+import pytest
+
+from repro.baselines import (
+    GraphCompactor,
+    coordinate_contact_row,
+    coordinate_diff_pair,
+    source_line_count,
+)
+from repro.compact import Compactor
+from repro.db import LayoutObject
+from repro.drc import run_drc
+from repro.geometry import Direction
+from repro.library import CONTACT_ROW_SOURCE, DIFF_PAIR_SOURCE, contact_row
+
+
+# ---------------------------------------------------------------------------
+# coordinate-level generator
+# ---------------------------------------------------------------------------
+def test_coordinate_contact_row_is_drc_clean(tech):
+    row = coordinate_contact_row(tech, "poly", 1.0, 10.0)
+    assert run_drc(row, include_latchup=False) == []
+    assert row.rects_on("contact")
+
+
+def test_coordinate_contact_row_matches_generator_contact_count(tech):
+    coord = coordinate_contact_row(tech, "poly", 1.0, 10.0)
+    procedural = contact_row(tech, "poly", w=1.0, length=10.0)
+    assert len(coord.rects_on("contact")) == len(procedural.rects_on("contact"))
+
+
+def test_coordinate_diff_pair_is_drc_clean(tech):
+    pair = coordinate_diff_pair(tech, 10.0, 1.0)
+    assert run_drc(pair, include_latchup=False) == []
+    gates = [r for r in pair.rects_on("poly") if r.height > r.width]
+    assert len(gates) == 2
+
+
+def test_code_length_claim(tech):
+    """Sec. 2.5: the coordinate method needs 'a multiple' of the PLDL code."""
+    from repro.baselines import coordinate_generator
+
+    pldl_lines = len(
+        [l for l in DIFF_PAIR_SOURCE.splitlines() if l.strip() and not l.strip().startswith("//")]
+    ) + len(
+        [l for l in CONTACT_ROW_SOURCE.splitlines() if l.strip()]
+    )
+    coordinate_lines = source_line_count(
+        coordinate_generator.coordinate_diff_pair
+    ) + source_line_count(coordinate_generator.coordinate_contact_row)
+    assert coordinate_lines > 2 * pldl_lines
+
+
+# ---------------------------------------------------------------------------
+# graph compactor
+# ---------------------------------------------------------------------------
+def make_objects(tech, count):
+    objects = []
+    for index in range(count):
+        obj = contact_row(tech, "pdiff", w=6.0, net=f"n{index}", name=f"r{index}")
+        obj.translate(index * 20000, 0)
+        objects.append(obj)
+    return objects
+
+
+def test_graph_compactor_requires_objects(tech):
+    with pytest.raises(ValueError):
+        GraphCompactor(tech).compact([])
+
+
+def test_graph_compactor_matches_successive_result(tech):
+    """Same separation rules → same packed width as the successive method."""
+    objects = make_objects(tech, 5)
+    graph = GraphCompactor(tech).compact(
+        [o.copy() for o in objects], Direction.WEST
+    )
+    successive = LayoutObject("s", tech)
+    compactor = Compactor(variable_edges=False)
+    for obj in objects:
+        compactor.compact(successive, obj.copy(), Direction.WEST)
+    assert graph.width == successive.width
+
+
+def test_graph_compactor_respects_spacing(tech):
+    objects = make_objects(tech, 4)
+    packed = GraphCompactor(tech).compact(objects, Direction.WEST)
+    assert run_drc(packed, include_latchup=False) == []
+
+
+def test_graph_stats_grow_quadratically(tech):
+    compactor = GraphCompactor(tech)
+    compactor.compact(make_objects(tech, 3), Direction.WEST)
+    small = compactor.last_stats.pair_checks
+    compactor.compact(make_objects(tech, 6), Direction.WEST)
+    large = compactor.last_stats.pair_checks
+    # Doubling the object count should far more than double the pair
+    # checks — the full edge graph is quadratic in total rect count.
+    assert large > 3 * small

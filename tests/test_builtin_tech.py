@@ -1,0 +1,85 @@
+"""Sanity constraints the built-in technologies must satisfy.
+
+The primitives rely on rule relationships (cuts must fit inside their
+enclosing conductors, device layers need EXTEND rules, ...); these tests pin
+those invariants so future rule edits cannot silently break generators.
+"""
+
+import pytest
+
+from repro.tech import BUILTIN_TECHNOLOGIES, LayerKind, get_technology
+
+
+@pytest.fixture(params=sorted(BUILTIN_TECHNOLOGIES))
+def any_tech(request):
+    return get_technology(request.param)
+
+
+def test_get_technology_rejects_unknown():
+    with pytest.raises(ValueError):
+        get_technology("imaginary_tech")
+
+
+def test_all_drawn_layers_have_width_rules(any_tech):
+    for layer in any_tech.layers:
+        if layer.kind is not LayerKind.MARKER:
+            assert any_tech.rules.width(layer.name) is not None, layer.name
+
+
+def test_cut_layers_fit_their_conductors(any_tech):
+    for layer in any_tech.layers_of_kind(LayerKind.CUT):
+        cut = any_tech.cut_size(layer.name)
+        assert cut > 0
+        pairs = any_tech.connected_layers(layer.name)
+        assert pairs, f"cut layer {layer.name} connects nothing"
+        for bottom, top in pairs:
+            for side in (bottom, top):
+                enc = any_tech.enclosure_or_zero(side, layer.name)
+                # A minimal-width conductor of the enclosing layer must be
+                # able to hold one cut.
+                assert any_tech.min_width(side) <= cut + 2 * enc + 4000
+
+
+def test_cut_layers_have_spacing(any_tech):
+    for layer in any_tech.layers_of_kind(LayerKind.CUT):
+        assert any_tech.min_space(layer.name, layer.name) is not None
+
+
+def test_mos_device_rules_exist(any_tech):
+    for diff in ("pdiff", "ndiff"):
+        assert any_tech.extension("poly", diff) > 0
+        assert any_tech.extension(diff, "poly") > 0
+        assert any_tech.min_space("poly", diff) is not None
+        # Contacts must keep clear of gates and of foreign diffusion.
+        assert any_tech.min_space("poly", "contact") is not None
+        assert any_tech.min_space("contact", diff) is not None
+
+
+def test_conducting_layers_have_capacitance(any_tech):
+    for name in ("poly", "pdiff", "metal1", "metal2"):
+        cap = any_tech.capacitance(name)
+        assert cap.area > 0
+        assert cap.perimeter > 0
+
+
+def test_latchup_rule_present(any_tech):
+    assert any_tech.latchup_half_size("subcontact") > 0
+
+
+def test_gate_row_connection_geometry(any_tech):
+    """The transistor idiom requires the poly row to reach the endcap.
+
+    The poly contact row stops at poly-to-diffusion spacing above the active
+    area; for it to overlap the gate endcap the endcap extension must exceed
+    that spacing.
+    """
+    for diff in ("pdiff", "ndiff"):
+        endcap = any_tech.extension("poly", diff)
+        keepout = any_tech.min_space("poly", diff)
+        assert endcap > keepout
+
+
+def test_metal_layers_conduct(any_tech):
+    assert any_tech.layer("metal1").conducting
+    assert any_tech.layer("metal2").conducting
+    assert not any_tech.layer("nwell").conducting

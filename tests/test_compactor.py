@@ -1,0 +1,248 @@
+"""The successive compactor: abutment, special features, variable edges."""
+
+import pytest
+
+from repro.compact import Compactor
+from repro.db import LayoutObject, net_is_connected
+from repro.geometry import Direction, Rect
+from repro.library import contact_row
+
+
+def simple_obj(tech, name, rect):
+    obj = LayoutObject(name, tech)
+    obj.add_rect(rect)
+    return obj
+
+
+def test_first_object_is_copied_in_place(tech, compactor):
+    main = LayoutObject("m", tech)
+    child = simple_obj(tech, "c", Rect(5, 7, 15, 17, "metal1"))
+    result = compactor.compact(main, child, Direction.SOUTH)
+    assert result.travel == 0
+    assert main.bbox().as_tuple() == (5, 7, 15, 17)
+
+
+def test_rule_spacing_abutment(tech, compactor):
+    main = simple_obj(tech, "m", Rect(0, 0, 10000, 2000, "metal1", "a"))
+    target = LayoutObject("t", tech)
+    compactor.compact(target, main, Direction.SOUTH)
+    mover = simple_obj(tech, "c", Rect(0, 50000, 10000, 52000, "metal1", "b"))
+    result = compactor.compact(target, mover, Direction.SOUTH)
+    rects = sorted(target.nonempty_rects, key=lambda r: r.y1)
+    assert rects[1].y1 - rects[0].y2 == tech.min_space("metal1", "metal1")
+    assert result.travel == 50000 - 2000 - 1500
+
+
+def test_mixed_technologies_rejected(tech, tech05, compactor):
+    main = LayoutObject("m", tech)
+    child = LayoutObject("c", tech05)
+    with pytest.raises(ValueError):
+        compactor.compact(main, child, Direction.SOUTH)
+
+
+def test_object_can_be_pushed_back(tech, compactor):
+    """An object starting inside the structure moves backward to legality."""
+    target = LayoutObject("t", tech)
+    compactor.compact(
+        target, simple_obj(tech, "m", Rect(0, 0, 10000, 2000, "metal1", "a")),
+        Direction.SOUTH,
+    )
+    overlapping = simple_obj(tech, "c", Rect(0, 1000, 10000, 3000, "metal1", "b"))
+    result = compactor.compact(target, overlapping, Direction.SOUTH)
+    assert result.travel < 0
+    rects = sorted(target.nonempty_rects, key=lambda r: r.y1)
+    assert rects[1].y1 - rects[0].y2 == 1500
+
+
+def test_all_four_directions(tech, compactor):
+    for direction in Direction:
+        target = LayoutObject("t", tech)
+        compactor.compact(
+            target, simple_obj(tech, "m", Rect(-1000, -1000, 1000, 1000, "metal1", "a")),
+            direction,
+        )
+        mover = simple_obj(
+            tech, "c",
+            Rect(-1000, -1000, 1000, 1000, "metal1", "b").translate(
+                -direction.dx * 30000, -direction.dy * 30000
+            ),
+        )
+        compactor.compact(target, mover, direction)
+        rects = target.nonempty_rects
+        assert rects[0].distance(rects[1]) == 1500
+
+
+def test_ignored_layer_overlaps(tech, compactor):
+    target = LayoutObject("t", tech)
+    compactor.compact(
+        target, simple_obj(tech, "m", Rect(0, 0, 10000, 5000, "pdiff", "a")),
+        Direction.SOUTH,
+    )
+    mover = simple_obj(tech, "c", Rect(0, 50000, 10000, 55000, "pdiff", "b"))
+    compactor.compact(target, mover, Direction.SOUTH, ignore_layers=("pdiff",))
+    # Nothing constrained the motion: fallback abuts the bounding boxes.
+    rects = sorted(target.nonempty_rects, key=lambda r: r.y1)
+    assert rects[1].y1 == rects[0].y2
+
+
+def test_same_net_pair_does_not_block(tech, compactor):
+    target = LayoutObject("t", tech)
+    compactor.compact(
+        target, simple_obj(tech, "m", Rect(0, 0, 10000, 2000, "metal1", "sig")),
+        Direction.SOUTH,
+    )
+    mover = simple_obj(tech, "c", Rect(0, 9000, 10000, 11000, "metal1", "sig"))
+    compactor.compact(target, mover, Direction.SOUTH)
+    rects = sorted(target.nonempty_rects, key=lambda r: r.y1)
+    # Same potential: allowed to abut flush (fallback), not 1500 apart.
+    assert rects[1].y1 - rects[0].y2 == 0
+
+
+def test_no_overlap_property_blocks_stacking(tech, compactor):
+    target = LayoutObject("t", tech)
+    sensitive = Rect(0, 0, 10000, 2000, "metal1", "vulnerable", no_overlap=True)
+    compactor.compact(target, simple_obj(tech, "m", sensitive), Direction.SOUTH)
+    # poly has no spacing rule vs metal1: normally it would overlap freely.
+    mover = simple_obj(tech, "c", Rect(0, 30000, 10000, 32000, "poly", "agg"))
+    compactor.compact(target, mover, Direction.SOUTH)
+    rects = sorted(target.nonempty_rects, key=lambda r: r.y1)
+    assert rects[1].y1 >= rects[0].y2  # stopped at touch, no overlap
+
+
+def test_auto_connect_stretches_same_net(tech, compactor):
+    """Fig. 5a: same-potential geometry is connected automatically."""
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    base.add_rect(Rect(0, 0, 2000, 10000, "metal1", "sig"))      # column
+    base.add_rect(Rect(10000, 0, 12000, 11500, "metal1", "gate"))  # taller blocker
+    compactor.compact(target, base, Direction.SOUTH)
+    strap = simple_obj(tech, "c", Rect(0, 50000, 12000, 52000, "metal1", "sig"))
+    result = compactor.compact(target, strap, Direction.SOUTH)
+    # The strap stops 1500 above the blocker; the same-net column is then
+    # stretched up to meet it.
+    assert result.connected == 1
+    assert net_is_connected(target.rects, tech, "sig")
+
+
+def test_auto_connect_blocked_by_foreign_net(tech, compactor):
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    base.add_rect(Rect(0, 0, 2000, 10000, "metal1", "sig"))
+    # A foreign wire lies right across the would-be bridge.
+    base.add_rect(Rect(-1000, 11000, 3000, 12500, "metal1", "enemy"))
+    base.add_rect(Rect(10000, 0, 12000, 16000, "metal1", "gate"))
+    compactor.compact(target, base, Direction.SOUTH)
+    strap = simple_obj(tech, "c", Rect(0, 50000, 12000, 52000, "metal1", "sig"))
+    result = compactor.compact(target, strap, Direction.SOUTH)
+    assert result.connected == 0
+    assert not net_is_connected(target.rects, tech, "sig")
+
+
+def test_auto_connect_disabled(tech):
+    compactor = Compactor(auto_connect=False)
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    base.add_rect(Rect(0, 0, 2000, 10000, "metal1", "sig"))
+    base.add_rect(Rect(10000, 0, 12000, 11500, "metal1", "gate"))
+    compactor.compact(target, base, Direction.SOUTH)
+    strap = simple_obj(tech, "c", Rect(0, 50000, 12000, 52000, "metal1", "sig"))
+    result = compactor.compact(target, strap, Direction.SOUTH)
+    assert result.connected == 0
+
+
+def test_variable_edge_facing_shrink(tech):
+    """Fig. 5b: the binding facing edge is shrunk until no longer relevant."""
+    compactor = Compactor()
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    blocker = Rect(0, 0, 10000, 8000, "metal1", "a")
+    blocker.set_variable(Direction.NORTH)
+    backstop = Rect(20000, 0, 22000, 5000, "metal1", "c")
+    base.add_rect(blocker)
+    base.add_rect(backstop)
+    compactor.compact(target, base, Direction.SOUTH)
+    mover = simple_obj(tech, "c", Rect(0, 50000, 22000, 52000, "metal1", "b"))
+    result = compactor.compact(target, mover, Direction.SOUTH)
+    assert result.shrunk_edges >= 1
+    placed = [r for r in target.nonempty_rects if r.net == "b"][0]
+    # The mover lands against the backstop; the variable blocker shrank.
+    assert placed.y1 == 5000 + 1500
+    shrunk = [r for r in target.nonempty_rects if r.net == "a"][0]
+    assert shrunk.y2 == placed.y1 - 1500
+
+
+def test_variable_edges_disabled(tech):
+    compactor = Compactor(variable_edges=False)
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    blocker = Rect(0, 0, 10000, 8000, "metal1", "a")
+    blocker.set_variable(Direction.NORTH)
+    base.add_rect(blocker)
+    compactor.compact(target, base, Direction.SOUTH)
+    mover = simple_obj(tech, "c", Rect(0, 50000, 10000, 52000, "metal1", "b"))
+    result = compactor.compact(target, mover, Direction.SOUTH)
+    assert result.shrunk_edges == 0
+    placed = [r for r in target.nonempty_rects if r.net == "b"][0]
+    assert placed.y1 == 8000 + 1500  # blocker kept its full height
+
+
+def test_variable_edge_corner_shrink(tech):
+    """A corner-only conflict is resolved by moving a perpendicular edge."""
+    compactor = Compactor()
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    # Blocker east of the mover's path, corner-conflicting only.
+    corner = Rect(10500, 0, 20000, 8000, "metal1", "a")
+    corner.set_variable()
+    backstop = Rect(0, 0, 10000, 3000, "metal1", "c")
+    base.add_rect(corner)
+    base.add_rect(backstop)
+    compactor.compact(target, base, Direction.SOUTH)
+    # Mover's span ends at x=10000; corner starts at 10500: gap 500 < 1500.
+    mover = simple_obj(tech, "c", Rect(0, 50000, 10000, 52000, "metal1", "b"))
+    result = compactor.compact(target, mover, Direction.SOUTH)
+    placed = [r for r in target.nonempty_rects if r.net == "b"][0]
+    shrunk = [r for r in target.nonempty_rects if r.net == "a"][0]
+    # The corner blocker's west edge moved east to open the gap.
+    assert shrunk.x1 >= 10000 + 1500
+    assert placed.y1 == 3000 + 1500  # and the mover reached the backstop
+    assert result.shrunk_edges >= 1
+
+
+def test_shrink_stops_at_limits(tech):
+    """A variable edge bounded by min_coord cannot shrink past it."""
+    compactor = Compactor()
+    target = LayoutObject("t", tech)
+    base = LayoutObject("base", tech)
+    blocker = Rect(0, 0, 10000, 8000, "metal1", "a")
+    blocker.set_variable(Direction.NORTH)
+    blocker.edge(Direction.NORTH).min_coord = 7000
+    base.add_rect(blocker)
+    compactor.compact(target, base, Direction.SOUTH)
+    mover = simple_obj(tech, "c", Rect(0, 50000, 10000, 52000, "metal1", "b"))
+    compactor.compact(target, mover, Direction.SOUTH)
+    shrunk = [r for r in target.nonempty_rects if r.net == "a"][0]
+    assert shrunk.y2 == 7000
+    placed = [r for r in target.nonempty_rects if r.net == "b"][0]
+    assert placed.y1 == 7000 + 1500
+
+
+def test_contact_row_array_recalculated_during_compaction(tech, compactor):
+    """End-to-end Fig. 5b: row metal shrinks and its array is recalculated."""
+    target = LayoutObject("t", tech)
+    wide = contact_row(tech, "pdiff", w=8.0, length=12.0, net="a", name="wide")
+    compactor.compact(target, wide, Direction.SOUTH)
+    cuts_before = len(target.rects_on("contact"))
+    # A hostile metal plate that corner-conflicts with the row's metal.
+    mover = LayoutObject("m", tech)
+    mover.add_rect(Rect(-20000, 50000, -7000, 58000, "metal1", "b"))
+    compactor.compact(target, mover, Direction.EAST)
+    assert len(target.rects_on("contact")) <= cuts_before
+
+
+def test_compaction_result_reports_merged_rects(tech, compactor):
+    target = LayoutObject("t", tech)
+    child = simple_obj(tech, "c", Rect(0, 0, 10, 10, "metal1"))
+    result = compactor.compact(target, child, Direction.SOUTH)
+    assert len(result.merged_rects) == 1
+    assert result.merged_rects[0] in target.rects

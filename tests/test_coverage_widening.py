@@ -1,0 +1,172 @@
+"""Coverage widening: option combinations and less-travelled paths."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.geometry import Direction, Rect, Transform
+from repro.tech import RuleError
+
+
+# ---------------------------------------------------------------------------
+# transforms: the full orientation group
+# ---------------------------------------------------------------------------
+def test_all_eight_orientations_distinct():
+    from repro.geometry import ORIENTATIONS
+
+    probe = Rect(1, 2, 5, 3, "poly")  # asymmetric probe
+    images = set()
+    for rotation, mirror in ORIENTATIONS:
+        image = Transform(rotation=rotation, mirror_x=mirror).apply_rect(probe)
+        images.add(image.as_tuple())
+    assert len(images) == 8
+
+
+def test_rotation_composes_to_identity():
+    quarter = Transform(rotation=1)
+    rect = Rect(1, 2, 5, 3, "poly")
+    image = rect
+    for _ in range(4):
+        image = quarter.apply_rect(image)
+    assert image.as_tuple() == rect.as_tuple()
+
+
+# ---------------------------------------------------------------------------
+# library option combinations
+# ---------------------------------------------------------------------------
+def test_mos_without_gate_contact(tech):
+    from repro.drc import run_drc
+    from repro.library import mos_transistor
+
+    mos = mos_transistor(tech, 8.0, 1.0, gate_contact=False)
+    assert run_drc(mos, include_latchup=False) == []
+    assert all(c.net != "g" for c in mos.rects_on("contact"))
+
+
+def test_patterned_row_single_finger(tech):
+    from repro.drc import run_drc
+    from repro.library import DeviceNets, patterned_row
+
+    row = patterned_row(tech, 8.0, 1.0, "A", {"A": DeviceNets("g", "d")})
+    assert run_drc(row, include_latchup=False) == []
+
+
+def test_all_dummy_row(tech):
+    from repro.drc import run_drc
+    from repro.library import patterned_row
+
+    row = patterned_row(tech, 8.0, 1.0, "DDD", {})
+    assert run_drc(row, include_latchup=False) == []
+    assert {r.net for r in row.rects_on("poly")} == {"vss"}
+
+
+def test_centroid_pair_without_wiring(tech):
+    from repro.drc import run_drc
+    from repro.library import centroid_cross_coupled_pair
+
+    bare = centroid_cross_coupled_pair(tech, wiring=False)
+    assert run_drc(bare, include_latchup=False) == []
+    assert bare.rects_on("metal2") == []
+
+
+def test_contact_row_on_every_contactable_layer(tech):
+    from repro.drc import run_drc
+    from repro.library import contact_row
+
+    for layer in ("poly", "pdiff", "ndiff", "subcontact", "base", "emitter"):
+        row = contact_row(tech, layer, w=3.0, length=6.0, net="n")
+        assert run_drc(row, include_latchup=False) == [], layer
+        assert row.rects_on("contact"), layer
+
+
+# ---------------------------------------------------------------------------
+# baselines on more shapes
+# ---------------------------------------------------------------------------
+def test_coordinate_row_parameter_sweep(tech):
+    from repro.baselines import coordinate_contact_row
+    from repro.drc import run_drc
+
+    for w, l in [(None, None), (2.0, None), (None, 8.0), (3.0, 12.0)]:
+        row = coordinate_contact_row(tech, "pdiff", w, l, net="x")
+        assert run_drc(row, include_latchup=False) == [], (w, l)
+
+
+def test_graph_compactor_south(tech):
+    from repro.baselines import GraphCompactor
+    from repro.drc import run_drc
+    from repro.library import contact_row
+
+    objects = []
+    for index in range(3):
+        obj = contact_row(tech, "poly", w=2.0, length=8.0, net=f"n{index}",
+                          name=f"r{index}")
+        obj.translate(0, -index * 30000)
+        objects.append(obj)
+    packed = GraphCompactor(tech).compact(objects, Direction.SOUTH)
+    assert run_drc(packed, include_latchup=False) == []
+
+
+# ---------------------------------------------------------------------------
+# environment / session small paths
+# ---------------------------------------------------------------------------
+def test_environment_with_explicit_technology(tech05):
+    from repro import Environment
+
+    env = Environment(tech=tech05)
+    assert env.tech.name == "generic_cmos_05u"
+
+
+def test_environment_compactor_flags():
+    from repro import Environment
+
+    env = Environment(variable_edges=False, auto_connect=False)
+    assert not env.compactor.variable_edges
+    assert not env.compactor.auto_connect
+
+
+def test_svg_scale_changes_size(tech):
+    from repro.io import render_svg
+    from repro.library import contact_row
+
+    row = contact_row(tech, "poly", w=1.0, length=10.0)
+    small = render_svg(row, scale=0.01)
+    large = render_svg(row, scale=0.1)
+    assert len(large) >= len(small)  # same rect count, bigger canvas numbers
+    import re
+
+    def width_of(svg):
+        return float(re.search(r'width="(\d+)"', svg).group(1))
+
+    assert width_of(large) > width_of(small)
+
+
+def test_rating_full_combination(tech):
+    from repro.opt import Rating
+
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "a"))
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal2", "b"))
+    rating = Rating(
+        area_weight=1.0,
+        capacitance_weights={"a": 0.001},
+        coupling_weight=0.5,
+        pair_mismatch_weights={("a", "b"): 10.0},
+    )
+    score = rating.evaluate(obj)
+    assert score > Rating(area_weight=1.0).evaluate(obj)
+
+
+# ---------------------------------------------------------------------------
+# route corners with layer change
+# ---------------------------------------------------------------------------
+def test_l_route_with_layer_change(tech):
+    from repro.db import net_is_connected
+    from repro.drc import run_drc
+    from repro.primitives import angle_adaptor
+    from repro.route import wire
+
+    obj = LayoutObject("o", tech)
+    wire(obj, "metal1", (0, 0), (10000, 0), width=2800, net="n")
+    wire(obj, "metal2", (10000, 0), (10000, 9000), width=2800, net="n")
+    angle_adaptor(obj, "metal1", "metal2", 10000, 0, 2800, 2800, net="n")
+    assert net_is_connected(obj.rects, tech, "n")
+    assert run_drc(obj, include_latchup=False) == []

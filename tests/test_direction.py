@@ -1,0 +1,55 @@
+"""Direction and axis arithmetic."""
+
+import pytest
+
+from repro.geometry import Axis, Direction
+
+
+def test_vectors():
+    assert (Direction.NORTH.dx, Direction.NORTH.dy) == (0, 1)
+    assert (Direction.SOUTH.dx, Direction.SOUTH.dy) == (0, -1)
+    assert (Direction.EAST.dx, Direction.EAST.dy) == (1, 0)
+    assert (Direction.WEST.dx, Direction.WEST.dy) == (-1, 0)
+
+
+def test_opposites_are_involutive():
+    for direction in Direction:
+        assert direction.opposite.opposite is direction
+        assert direction.opposite.dx == -direction.dx
+        assert direction.opposite.dy == -direction.dy
+
+
+def test_axis_classification():
+    assert Direction.NORTH.axis is Axis.VERTICAL
+    assert Direction.SOUTH.axis is Axis.VERTICAL
+    assert Direction.EAST.axis is Axis.HORIZONTAL
+    assert Direction.WEST.axis is Axis.HORIZONTAL
+    assert Axis.VERTICAL.other is Axis.HORIZONTAL
+    assert Axis.HORIZONTAL.other is Axis.VERTICAL
+
+
+def test_positivity():
+    assert Direction.NORTH.is_positive
+    assert Direction.EAST.is_positive
+    assert not Direction.SOUTH.is_positive
+    assert not Direction.WEST.is_positive
+
+
+def test_perpendiculars():
+    for direction in Direction:
+        neg, pos = direction.perpendiculars
+        assert neg.axis is direction.axis.other
+        assert pos.axis is direction.axis.other
+        assert not neg.is_positive
+        assert pos.is_positive
+
+
+def test_from_name_accepts_any_case():
+    assert Direction.from_name("south") is Direction.SOUTH
+    assert Direction.from_name("NORTH") is Direction.NORTH
+    assert Direction.from_name("West") is Direction.WEST
+
+
+def test_from_name_rejects_unknown():
+    with pytest.raises(ValueError):
+        Direction.from_name("up")

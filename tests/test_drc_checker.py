@@ -1,0 +1,268 @@
+"""DRC checks: width, spacing, enclosure, extension, area."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.drc import (
+    Violation,
+    check_areas,
+    check_enclosures,
+    check_extensions,
+    check_spacing,
+    check_widths,
+    format_report,
+    run_drc,
+)
+from repro.geometry import Rect
+from repro.primitives import inbox, tworects
+
+
+def obj_with(tech, *rects):
+    obj = LayoutObject("o", tech)
+    for rect in rects:
+        obj.add_rect(rect)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# width
+# ---------------------------------------------------------------------------
+def test_width_violation(tech):
+    obj = obj_with(tech, Rect(0, 0, 500, 5000, "poly"))
+    violations = check_widths(obj)
+    assert len(violations) == 1
+    assert violations[0].kind == "width"
+
+
+def test_width_ok(tech):
+    obj = obj_with(tech, Rect(0, 0, 1000, 5000, "poly"))
+    assert check_widths(obj) == []
+
+
+def test_cut_must_be_exact(tech):
+    ok = obj_with(tech, Rect(0, 0, 1000, 1000, "contact"))
+    assert check_widths(ok) == []
+    wrong = obj_with(tech, Rect(0, 0, 1200, 1000, "contact"))
+    assert len(check_widths(wrong)) == 1
+    oversized = obj_with(tech, Rect(0, 0, 2000, 2000, "contact"))
+    assert len(check_widths(oversized)) == 1
+
+
+# ---------------------------------------------------------------------------
+# spacing
+# ---------------------------------------------------------------------------
+def test_spacing_violation_same_layer(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(2500, 0, 4500, 2000, "metal1", "b"),
+    )
+    violations = check_spacing(obj)
+    assert len(violations) == 1
+    assert "gap 500" in violations[0].message
+
+
+def test_spacing_ok_at_rule(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(3500, 0, 5500, 2000, "metal1", "b"),
+    )
+    assert check_spacing(obj) == []
+
+
+def test_spacing_diagonal(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(2900, 2900, 4900, 4900, "metal1", "b"),  # max gap 900
+    )
+    assert len(check_spacing(obj)) == 1
+
+
+def test_spacing_same_net_exempt(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(2500, 0, 4500, 2000, "metal1", "a"),
+    )
+    assert check_spacing(obj) == []
+
+
+def test_spacing_merged_component_is_one_shape(tech):
+    """Abutted same-layer rects are one polygon: no internal spacing."""
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "pdiff", "s"),
+        Rect(2000, 0, 4000, 2000, "pdiff"),      # touches: same component
+        Rect(4000, 0, 6000, 2000, "pdiff", "d"),  # touches too
+    )
+    assert check_spacing(obj) == []
+
+
+def test_touching_foreign_nets_is_a_short(tech):
+    from repro.drc.checker import check_shorts
+
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(2000, 0, 4000, 2000, "metal1", "b"),  # abutting different nets
+    )
+    violations = check_shorts(obj)
+    assert len(violations) == 1
+    assert violations[0].kind == "short"
+
+
+def test_shared_diffusion_is_not_a_short(tech):
+    from repro.drc.checker import check_shorts
+
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2000, 2000, "pdiff", "s"),
+        Rect(2000, 0, 4000, 2000, "pdiff", "d"),  # S/D share active area
+    )
+    assert check_shorts(obj) == []
+
+
+def test_cross_layer_spacing_gate_exempt(tech):
+    """A gate crossing its own diffusion is not a poly-to-active violation."""
+    obj = LayoutObject("o", tech)
+    tworects(obj, "poly", "pdiff", 10000, 1000)
+    assert check_spacing(obj) == []
+
+
+def test_cross_layer_spacing_field_poly_flagged(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 1000, 10000, "poly"),
+        Rect(1300, 0, 5000, 10000, "pdiff"),  # 300 < 800 rule
+    )
+    assert len(check_spacing(obj)) == 1
+
+
+# ---------------------------------------------------------------------------
+# enclosure
+# ---------------------------------------------------------------------------
+def test_enclosure_ok_through_inbox(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=2600, length=2600)
+    inbox(obj, "metal1")
+    from repro.primitives import array
+
+    array(obj, "contact")
+    assert check_enclosures(obj) == []
+
+
+def test_enclosure_missing_top_conductor(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2600, 2600, "poly"),
+        Rect(800, 800, 1800, 1800, "contact"),
+    )
+    violations = check_enclosures(obj)
+    assert len(violations) == 1
+    assert "top" in violations[0].message
+
+
+def test_enclosure_insufficient_margin(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 2600, 2600, "poly"),
+        Rect(0, 0, 2600, 2600, "metal1"),
+        Rect(100, 800, 1100, 1800, "contact"),  # 100 < 800 poly enclosure
+    )
+    violations = check_enclosures(obj)
+    assert any("bottom" in v.message for v in violations)
+
+
+def test_enclosure_satisfied_by_merged_shape(tech):
+    """Enclosure may be provided by a union of rects, not a single one."""
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 1500, 2600, "poly"),
+        Rect(1500, 0, 2600, 2600, "poly"),  # two poly halves
+        Rect(0, 0, 2600, 2600, "metal1"),
+        Rect(800, 800, 1800, 1800, "contact"),
+    )
+    assert check_enclosures(obj) == []
+
+
+# ---------------------------------------------------------------------------
+# extension
+# ---------------------------------------------------------------------------
+def test_extension_ok_for_tworects(tech):
+    obj = LayoutObject("o", tech)
+    tworects(obj, "poly", "pdiff", 10000, 1000)
+    assert check_extensions(obj) == []
+
+
+def test_extension_missing_endcap(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, -5500, 1000, 5500, "poly"),   # only 500 endcap
+        Rect(-2500, -5000, 3500, 5000, "pdiff"),
+    )
+    violations = check_extensions(obj)
+    assert any("endcap" in v.message for v in violations)
+
+
+def test_extension_missing_sd(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, -6000, 1000, 6000, "poly"),
+        Rect(-1000, -5000, 2000, 5000, "pdiff"),  # only 1000 SD extension
+    )
+    violations = check_extensions(obj)
+    assert any("source/drain" in v.message for v in violations)
+
+
+def test_partial_gate_flagged(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 1000, 3000, "poly"),       # ends inside the diffusion
+        Rect(-2500, -5000, 3500, 5000, "pdiff"),
+    )
+    violations = check_extensions(obj)
+    assert any("partial" in v.message for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# area
+# ---------------------------------------------------------------------------
+def test_area_violation(tech):
+    obj = obj_with(tech, Rect(0, 0, 1500, 1500, "metal1"))  # 2.25 < 4 µm²
+    violations = check_areas(obj)
+    assert len(violations) == 1
+
+
+def test_area_satisfied_by_merged_shape(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 1500, 1500, "metal1"),
+        Rect(1500, 0, 3000, 1500, "metal1"),  # together 4.5 µm²
+    )
+    assert check_areas(obj) == []
+
+
+# ---------------------------------------------------------------------------
+# run_drc / report
+# ---------------------------------------------------------------------------
+def test_run_drc_aggregates(tech):
+    obj = obj_with(
+        tech,
+        Rect(0, 0, 500, 5000, "poly"),
+        Rect(0, 0, 2000, 2000, "metal1", "a"),
+        Rect(2500, 0, 4500, 2000, "metal1", "b"),
+    )
+    violations = run_drc(obj, include_latchup=False)
+    kinds = {v.kind for v in violations}
+    assert "width" in kinds and "spacing" in kinds
+
+
+def test_format_report(tech):
+    assert "clean" in format_report([])
+    report = format_report(
+        [Violation("width", "too thin", (0, 0)), Violation("spacing", "close", (1, 1))]
+    )
+    assert "2 violation(s)" in report
+    assert "[width]" in report and "[spacing]" in report

@@ -1,0 +1,80 @@
+"""The latch-up examination of Fig. 1."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.drc import (
+    check_latchup,
+    insert_protection_contacts,
+    temporary_rectangles,
+    uncovered_active_area,
+)
+from repro.geometry import Rect
+
+
+def test_temporary_rectangles_grow_by_rule(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 2000, 2000, "subcontact", "sub"))
+    temps = temporary_rectangles(obj)
+    half = tech.latchup_half_size("subcontact")
+    assert temps[0].as_tuple() == (-half, -half, 2000 + half, 2000 + half)
+
+
+def test_protected_active_area_passes(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "pdiff"))
+    obj.add_rect(Rect(12000, 4000, 14000, 6000, "subcontact", "sub"))
+    assert uncovered_active_area(obj) == []
+    assert check_latchup(obj) == []
+
+
+def test_unprotected_area_reported(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "pdiff"))
+    violations = check_latchup(obj)
+    assert len(violations) == 1
+    assert violations[0].kind == "latchup"
+
+
+def test_partially_protected_reports_remainder(tech):
+    """Fig. 1 mechanism: only the overlapping part is cut."""
+    half = tech.latchup_half_size("subcontact")
+    obj = LayoutObject("o", tech)
+    # Active area wider than one contact's protection.
+    obj.add_rect(Rect(0, 0, 3 * half, 4000, "pdiff"))
+    obj.add_rect(Rect(-1000, 1000, 0, 3000, "subcontact", "sub"))
+    remainders = uncovered_active_area(obj)
+    assert remainders
+    # The remainder starts exactly where the temporary rectangle ends
+    # (the contact's east edge at x=0 grown by the half size).
+    assert min(r.x1 for r in remainders) == half
+
+
+def test_multiple_contacts_cover_jointly(tech):
+    half = tech.latchup_half_size("subcontact")
+    width = half + half // 2  # wider than one contact protects alone
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, width, 4000, "pdiff"))
+    obj.add_rect(Rect(0, -3000, 2000, -1000, "subcontact", "sub"))
+    assert uncovered_active_area(obj)  # one contact is not enough
+    obj.add_rect(Rect(width - 2000, -3000, width, -1000, "subcontact", "sub"))
+    assert uncovered_active_area(obj) == []
+
+
+def test_insert_protection_contacts_fixes_layout(tech):
+    """'additional substrate contacts have to be inserted'."""
+    half = tech.latchup_half_size("subcontact")
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 5 * half, 4000, "pdiff"))
+    assert check_latchup(obj)
+    added = insert_protection_contacts(obj)
+    assert added
+    assert check_latchup(obj) == []
+
+
+def test_technology_without_rule_skips(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "pdiff"))
+    # Remove the rule: the check must quietly skip.
+    obj.tech.rules._latchup.clear()
+    assert check_latchup(obj) == []

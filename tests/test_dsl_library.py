@@ -1,0 +1,94 @@
+"""The PLDL-written module library (Sec. 4: designers maintain their own)."""
+
+import pytest
+
+from repro.drc import run_drc
+from repro.lang import Interpreter, Runtime, translate
+from repro.library.dsl_sources import DSL_LIBRARY
+
+BUILD_ARGS = {
+    "ContactRow": dict(layer="poly", W=1.0, L=8.0),
+    "DiffPair": dict(W=8.0, L=1.0),
+    "Transistor": dict(W=8.0, L=1.0),
+    "Mirror": dict(W=8.0, L=1.0),
+    "Interdigitated": dict(W=8.0, L=1.0, N=4.0),
+    "Serpentine": dict(W=2.0, LSEG=15.0, NSEG=3.0),
+    "GuardedTransistor": dict(W=8.0, L=1.0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DSL_LIBRARY))
+def test_every_dsl_module_is_drc_clean(tech, name):
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY[name])
+    module = interp.call(name, **BUILD_ARGS[name])
+    include_latchup = name == "GuardedTransistor"  # the only guarded one
+    assert run_drc(module, include_latchup=include_latchup) == []
+    assert not module.is_empty()
+
+
+@pytest.mark.parametrize("name", sorted(DSL_LIBRARY))
+def test_every_dsl_module_is_technology_independent(tech05, name):
+    interp = Interpreter(tech05)
+    interp.load(DSL_LIBRARY[name])
+    module = interp.call(name, **BUILD_ARGS[name])
+    assert run_drc(module, include_latchup=False) == []
+
+
+@pytest.mark.parametrize("name", sorted(DSL_LIBRARY))
+def test_every_dsl_module_translates(tech, name):
+    code = translate(DSL_LIBRARY[name])
+    namespace = {}
+    exec(compile(code, "<generated>", "exec"), namespace)
+    module = namespace[name](Runtime(tech), **BUILD_ARGS[name])
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY[name])
+    reference = interp.call(name, **BUILD_ARGS[name])
+    assert module.bbox().as_tuple() == reference.bbox().as_tuple()
+    assert len(module.nonempty_rects) == len(reference.nonempty_rects)
+
+
+def test_interdigitated_scales_with_finger_count(tech):
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY["Interdigitated"])
+    two = interp.call("Interdigitated", W=8.0, L=1.0, N=2.0)
+    six = interp.call("Interdigitated", W=8.0, L=1.0, N=6.0)
+    assert six.width > two.width
+    gates_two = [r for r in two.rects_on("poly") if r.height > r.width]
+    gates_six = [r for r in six.rects_on("poly") if r.height > r.width]
+    assert len(gates_two) == 2 and len(gates_six) == 6
+
+
+def test_mirror_layout_is_symmetric(tech):
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY["Mirror"])
+    mirror = interp.call("Mirror", W=8.0, L=1.0)
+    gates = sorted(
+        (r for r in mirror.rects_on("poly") if r.height > r.width),
+        key=lambda g: g.x1,
+    )
+    assert len(gates) == 2
+    vss = [r for r in mirror.rects_on("contact") if r.net == "vss"]
+    cx = sum((c.x1 + c.x2) / 2 for c in vss) / len(vss)
+    assert gates[0].x2 < cx < gates[1].x1  # shared tail in the middle
+
+
+def test_serpentine_resistance_scales(tech):
+    from repro.db import estimate_net_resistance
+
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY["Serpentine"])
+    short = interp.call("Serpentine", W=2.0, LSEG=15.0, NSEG=2.0)
+    long = interp.call("Serpentine", W=2.0, LSEG=15.0, NSEG=6.0)
+    r_short = estimate_net_resistance(short.rects, tech, "body")
+    r_long = estimate_net_resistance(long.rects, tech, "body")
+    assert r_long > 2.5 * r_short
+
+
+def test_guarded_transistor_passes_latchup(tech):
+    from repro.drc import check_latchup
+
+    interp = Interpreter(tech)
+    interp.load(DSL_LIBRARY["GuardedTransistor"])
+    module = interp.call("GuardedTransistor", W=8.0, L=1.0)
+    assert check_latchup(module) == []

@@ -1,0 +1,181 @@
+"""Edge cases and failure paths across subsystems."""
+
+import struct
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.geometry import Direction, Rect
+from repro.lang import EvalError, Interpreter
+from repro.tech import RuleError
+
+
+# ---------------------------------------------------------------------------
+# interpreter guards
+# ---------------------------------------------------------------------------
+def test_recursive_entity_is_guarded(tech):
+    interp = Interpreter(tech)
+    with pytest.raises(EvalError) as exc:
+        interp.run("ENT Loop()\n  x = Loop()\nEND\ny = Loop()\n")
+    assert "depth" in str(exc.value)
+
+
+def test_mutually_recursive_entities_guarded(tech):
+    interp = Interpreter(tech)
+    source = (
+        "ENT A()\n  x = B()\nEND\n"
+        "ENT B()\n  x = A()\nEND\n"
+        "y = A()\n"
+    )
+    with pytest.raises(EvalError):
+        interp.run(source)
+
+
+def test_deep_but_finite_nesting_allowed(tech):
+    interp = Interpreter(tech)
+    lines = ["ENT E0()", '  INBOX("poly", 2, 2)', "END"]
+    for level in range(1, 20):
+        lines += [f"ENT E{level}()", f"  x = E{level - 1}()",
+                  "  compact(x, WEST)", "END"]
+    lines.append("top = E19()")
+    result = interp.run("\n".join(lines) + "\n")
+    assert not result["top"].is_empty()
+
+
+def test_builtin_too_many_positionals(tech):
+    interp = Interpreter(tech)
+    with pytest.raises(EvalError):
+        interp.run('ENT E()\n  ARRAY("contact", "x", "y")\nEND\ne = E()\n')
+
+
+def test_builtin_duplicate_argument(tech):
+    interp = Interpreter(tech)
+    with pytest.raises(EvalError):
+        interp.run('ENT E()\n  INBOX("poly", 2, W = 3)\nEND\ne = E()\n')
+
+
+def test_numeric_builtin_errors(tech):
+    interp = Interpreter(tech)
+    with pytest.raises(EvalError):
+        interp.run("x = MOD(1)\n")
+    with pytest.raises(EvalError):
+        interp.run("x = MOD(1, 0)\n")
+    with pytest.raises(EvalError):
+        interp.run("x = MIN()\n")
+
+
+# ---------------------------------------------------------------------------
+# compactor stress
+# ---------------------------------------------------------------------------
+def test_shrink_round_cap_terminates(tech):
+    """Many stacked variable blockers cannot loop the compactor forever."""
+    from repro.compact import MAX_SHRINK_ROUNDS, Compactor
+
+    main = LayoutObject("m", tech)
+    for index in range(10):
+        blocker = Rect(
+            index * 4000, 0, index * 4000 + 2000, 8000 + index * 500,
+            "metal1", f"b{index}",
+        )
+        blocker.set_variable()
+        main.add_rect(blocker)
+    mover = LayoutObject("c", tech)
+    mover.add_rect(Rect(0, 50000, 40000, 52000, "metal1", "mover"))
+    result = Compactor().compact(main, mover, Direction.SOUTH)
+    assert result.shrunk_edges <= MAX_SHRINK_ROUNDS * 10
+
+
+def test_compacting_empty_object(tech):
+    from repro.compact import Compactor
+
+    main = LayoutObject("m", tech)
+    main.add_rect(Rect(0, 0, 1000, 1000, "metal1"))
+    empty = LayoutObject("e", tech)
+    result = Compactor().compact(main, empty, Direction.SOUTH)
+    assert result.travel == 0
+    assert len(main.nonempty_rects) == 1
+
+
+# ---------------------------------------------------------------------------
+# GDS robustness
+# ---------------------------------------------------------------------------
+def test_gds_corrupt_record_rejected(tech, tmp_path):
+    from repro.io import read_gds
+
+    path = tmp_path / "bad.gds"
+    path.write_bytes(struct.pack(">HH", 2, 0x0002))  # length < 4
+    with pytest.raises(ValueError):
+        read_gds(path, tech)
+
+
+def test_gds_unknown_layer_rejected(tech, tmp_path):
+    from repro.io import read_gds, write_gds
+    from repro.tech import generic_cmos_05u
+
+    obj = LayoutObject("X", tech)
+    obj.add_rect(Rect(0, 0, 1000, 1000, "buried"))  # gds 20, only in bicmos
+    path = tmp_path / "x.gds"
+    write_gds(obj, path)
+    with pytest.raises(ValueError):
+        read_gds(path, generic_cmos_05u())
+
+
+def test_gds_element_outside_structure(tech, tmp_path):
+    from repro.io.gds import _record, read_gds
+
+    out = bytearray()
+    out += _record(0x0002, struct.pack(">h", 600))
+    out += _record(0x0800)  # BOUNDARY with no BGNSTR/STRNAME
+    out += _record(0x0D02, struct.pack(">h", 10))
+    out += _record(0x1003, struct.pack(">8i", 0, 0, 1, 0, 1, 1, 0, 1))
+    out += _record(0x1100)
+    path = tmp_path / "loose.gds"
+    path.write_bytes(bytes(out))
+    with pytest.raises(ValueError):
+        read_gds(path, tech)
+
+
+# ---------------------------------------------------------------------------
+# primitives on hostile inputs
+# ---------------------------------------------------------------------------
+def test_array_on_marker_layer_fails(tech):
+    from repro.primitives import array, inbox
+
+    obj = LayoutObject("o", tech)
+    inbox(obj, "nwell", w=10000, length=10000)
+    with pytest.raises(RuleError):
+        array(obj, "nwell")
+
+
+def test_ring_around_empty_fails(tech):
+    from repro.primitives import ring
+
+    with pytest.raises(RuleError):
+        ring(LayoutObject("o", tech), "subcontact")
+
+
+def test_wire_requires_positive_extent(tech):
+    from repro.route import wire
+
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        wire(obj, "metal1", (5, 5), (5, 5))
+
+
+# ---------------------------------------------------------------------------
+# technology hot paths
+# ---------------------------------------------------------------------------
+def test_overlap_connection_requires_layers(tech):
+    with pytest.raises(RuleError):
+        tech.add_overlap_connection("buried", "nonexistent")
+
+
+def test_overlap_connection_roundtrip(tech):
+    from repro.tech import dumps_tech, loads_tech
+
+    text = dumps_tech(tech)
+    assert "OVERLAP emitter buried" in text
+    restored = loads_tech(text)
+    assert restored.overlap_connected("emitter", "buried")
+    assert restored.overlap_connected("buried", "emitter")
+    assert not restored.overlap_connected("poly", "buried")

@@ -1,0 +1,90 @@
+"""The Environment façade and the two-window DesignSession."""
+
+import pytest
+
+from repro import DesignSession, Environment
+from repro.library import CONTACT_ROW_SOURCE
+from repro.opt import Step
+from repro.geometry import Direction
+
+
+def test_environment_default_technology():
+    env = Environment()
+    assert env.tech.name == "generic_bicmos_1u"
+
+
+def test_environment_rejects_unknown_technology():
+    with pytest.raises(ValueError):
+        Environment(tech="nonexistent")
+
+
+def test_build_and_verify_flow():
+    env = Environment()
+    env.load(CONTACT_ROW_SOURCE)
+    row = env.build("ContactRow", layer="poly", W=1.0, L=10.0)
+    assert env.drc(row) == []
+    assert env.area_um2(row) == pytest.approx(row.area() / 1e6)
+    assert env.rate(row) > 0
+
+
+def test_run_returns_globals():
+    env = Environment()
+    result = env.run(CONTACT_ROW_SOURCE + 'r = ContactRow(layer = "poly")\n')
+    assert "r" in result
+
+
+def test_parasitics_report():
+    env = Environment()
+    env.load(CONTACT_ROW_SOURCE)
+    row = env.build("ContactRow", layer="poly", W=1.0, L=10.0)
+    row.set_net("sig")
+    report = env.parasitics(row)
+    assert report["sig"] > 0
+
+
+def test_translate_passthrough():
+    env = Environment()
+    code = env.translate(CONTACT_ROW_SOURCE)
+    assert "def ContactRow" in code
+
+
+def test_optimize_order_integration(tech):
+    from repro.library import contact_row
+
+    env = Environment()
+    steps = [
+        Step(contact_row(env.tech, "pdiff", w=4.0, net="a", name="a"), Direction.WEST),
+        Step(contact_row(env.tech, "pdiff", w=8.0, net="b", name="b"), Direction.WEST),
+    ]
+    result = env.optimize_order("mod", steps)
+    assert result.evaluated == 2
+
+
+def test_outputs(tmp_path):
+    env = Environment()
+    env.load(CONTACT_ROW_SOURCE)
+    row = env.build("ContactRow", layer="poly", W=1.0, L=10.0)
+    env.write_gds(row, tmp_path / "row.gds")
+    env.write_svg(row, tmp_path / "row.svg")
+    assert (tmp_path / "row.gds").stat().st_size > 0
+    assert (tmp_path / "row.svg").read_text().startswith("<svg")
+
+
+def test_design_session_records_snapshots(tmp_path):
+    session = DesignSession()
+    session.run(CONTACT_ROW_SOURCE + 'r = ContactRow(layer = "poly", W = 1)\n')
+    assert session.snapshots
+    # Snapshots are per-statement and monotone in rect count per entity.
+    counts = [s.rect_count for s in session.snapshots if s.entity.startswith("ContactRow")]
+    assert counts == sorted(counts)
+    page = tmp_path / "session.html"
+    session.save_html(page)
+    text = page.read_text()
+    assert "source" in text and "graphical view" in text
+    assert text.count("<svg") >= len(session.snapshots)
+
+
+def test_design_session_custom_technology():
+    session = DesignSession(tech="generic_cmos_05u")
+    session.run(CONTACT_ROW_SOURCE + 'r = ContactRow(layer = "poly")\n')
+    assert session.snapshots

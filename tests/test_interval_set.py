@@ -1,0 +1,81 @@
+"""IntervalSet: the frontier sweep's union structure, vs a naive model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compact.separation import IntervalSet
+
+interval = st.tuples(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=1, max_value=200),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+class NaiveSet:
+    """Reference model: a boolean per integer coordinate."""
+
+    def __init__(self):
+        self.points = set()
+
+    def add(self, lo, hi):
+        self.points.update(range(lo, hi))
+
+    def contains(self, lo, hi):
+        return all(p in self.points for p in range(lo, hi))
+
+
+def test_empty_contains_nothing():
+    s = IntervalSet()
+    assert not s.contains(0, 1)
+
+
+def test_basic_merge():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(10, 20)  # adjacent: merges
+    assert s.contains(0, 20)
+    assert not s.contains(-1, 5)
+    assert not s.contains(15, 21)
+
+
+def test_gap_not_contained():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(20, 30)
+    assert not s.contains(5, 25)
+    assert s.contains(20, 30)
+
+
+def test_zero_length_adds_ignored():
+    s = IntervalSet()
+    s.add(5, 5)
+    assert not s.contains(5, 6)
+
+
+def test_bridging_add_merges_many():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(20, 30)
+    s.add(40, 50)
+    s.add(5, 45)  # bridges all three
+    assert s.contains(0, 50)
+
+
+@given(st.lists(interval, min_size=0, max_size=20), interval)
+def test_matches_naive_model(adds, query):
+    fast = IntervalSet()
+    naive = NaiveSet()
+    for lo, hi in adds:
+        fast.add(lo, hi)
+        naive.add(lo, hi)
+    lo, hi = query
+    assert fast.contains(lo, hi) == naive.contains(lo, hi)
+
+
+@given(st.lists(interval, min_size=1, max_size=20))
+def test_added_intervals_always_contained(adds):
+    fast = IntervalSet()
+    for lo, hi in adds:
+        fast.add(lo, hi)
+    for lo, hi in adds:
+        assert fast.contains(lo, hi)

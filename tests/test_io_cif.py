@@ -1,0 +1,72 @@
+"""CIF output: layer naming, round-trip, errors."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.geometry import Rect
+from repro.io import dumps_cif, loads_cif, read_cif, write_cif
+from repro.io.cif import cif_layer_names
+from repro.library import contact_row, diff_pair
+
+
+def test_layer_names_unique_and_legal(tech):
+    names = cif_layer_names(tech)
+    assert len(set(names.values())) == len(names)
+    for cif_name in names.values():
+        assert cif_name.isalnum()
+        assert len(cif_name) <= 4
+
+
+def test_roundtrip_contact_row(tech):
+    row = contact_row(tech, "poly", w=1.0, length=10.0, name="ROW")
+    back = loads_cif(dumps_cif(row), tech)
+    assert len(back) == 1
+    assert back[0].name == "ROW"
+    assert sorted(r.as_tuple() for r in back[0].nonempty_rects) == sorted(
+        r.as_tuple() for r in row.nonempty_rects
+    )
+    assert sorted(r.layer for r in back[0].nonempty_rects) == sorted(
+        r.layer for r in row.nonempty_rects
+    )
+
+
+def test_roundtrip_module_with_odd_coordinates(tech):
+    pair = diff_pair(tech, 10.0, 1.0)
+    pair.translate(333, 777)  # odd offsets stress the doubled-center math
+    back = loads_cif(dumps_cif(pair), tech)[0]
+    assert sorted(r.as_tuple() for r in back.nonempty_rects) == sorted(
+        r.as_tuple() for r in pair.nonempty_rects
+    )
+
+
+def test_multiple_structures(tech):
+    a = LayoutObject("A", tech)
+    a.add_rect(Rect(0, 0, 1000, 1000, "poly"))
+    b = LayoutObject("B", tech)
+    b.add_rect(Rect(0, 0, 2000, 2000, "metal1"))
+    back = loads_cif(dumps_cif([a, b]), tech)
+    assert [o.name for o in back] == ["A", "B"]
+
+
+def test_write_and_read_file(tech, tmp_path):
+    row = contact_row(tech, "poly", w=1.0, length=10.0)
+    path = tmp_path / "row.cif"
+    write_cif(row, path)
+    text = path.read_text()
+    assert text.startswith("(") and text.rstrip().endswith("E")
+    assert len(read_cif(path, tech)) == 1
+
+
+def test_empty_write_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        dumps_cif([])
+
+
+def test_unknown_layer_rejected(tech):
+    with pytest.raises(ValueError):
+        loads_cif("DS 1 100 1000;\nL ZZZZ;\nB 2 2 0 0;\nDF;\nE", tech)
+
+
+def test_stray_box_rejected(tech):
+    with pytest.raises(ValueError):
+        loads_cif("DS 1 100 1000;\nB 2 2 0 0;\nDF;\nE", tech)

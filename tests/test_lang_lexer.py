@@ -1,0 +1,96 @@
+"""PLDL lexer."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)]
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+
+def test_simple_assignment():
+    tokens = tokenize('x = ContactRow(layer = "poly", W = 1)\n')
+    assert tokens[0].kind is TokenKind.IDENT and tokens[0].value == "x"
+    assert tokens[1].kind is TokenKind.ASSIGN
+    assert tokens[2].value == "ContactRow"
+    assert any(t.kind is TokenKind.STRING and t.value == "poly" for t in tokens)
+    assert tokens[-1].kind is TokenKind.EOF
+    assert tokens[-2].kind is TokenKind.NEWLINE
+
+
+def test_comments_are_stripped():
+    tokens = tokenize("a = 1 // step 1\nb = 2 # other comment\n")
+    assert all(t.kind is not TokenKind.STRING for t in tokens)
+    assert sum(1 for t in tokens if t.kind is TokenKind.NUMBER) == 2
+
+
+def test_newlines_collapse():
+    tokens = tokenize("a = 1\n\n\n\nb = 2\n")
+    newline_count = sum(1 for t in tokens if t.kind is TokenKind.NEWLINE)
+    assert newline_count == 2
+
+
+def test_newlines_suppressed_inside_parens():
+    tokens = tokenize("f(a,\n  b,\n  c)\n")
+    newline_count = sum(1 for t in tokens if t.kind is TokenKind.NEWLINE)
+    assert newline_count == 1  # only the final one
+
+
+def test_numbers_int_and_float():
+    tokens = tokenize("a = 1.5\nb = 42\nc = .5\n")
+    numbers = [t.value for t in tokens if t.kind is TokenKind.NUMBER]
+    assert numbers == ["1.5", "42", ".5"]
+
+
+def test_operators():
+    source = "a <= b >= c == d != e < f > g + h - i * j / k\n"
+    ops = [
+        t.kind
+        for t in tokenize(source)
+        if t.kind
+        not in (TokenKind.IDENT, TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+    assert ops == [
+        TokenKind.LE, TokenKind.GE, TokenKind.EQ, TokenKind.NE,
+        TokenKind.LT, TokenKind.GT, TokenKind.PLUS, TokenKind.MINUS,
+        TokenKind.STAR, TokenKind.SLASH,
+    ]
+
+
+def test_angle_params_lex_as_lt_gt():
+    tokens = tokenize("ENT F(<W>)\n")
+    assert [t.kind for t in tokens[:6]] == [
+        TokenKind.IDENT, TokenKind.IDENT, TokenKind.LPAREN,
+        TokenKind.LT, TokenKind.IDENT, TokenKind.GT,
+    ]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a = 1\nb = 2\n")
+    b_token = next(t for t in tokens if t.value == "b")
+    assert b_token.line == 2
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('x = "oops\n')
+
+
+def test_bad_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a = 1 @ 2\n")
+
+
+def test_dot_attribute_access():
+    tokens = tokenize("obj.width\n")
+    assert tokens[1].kind is TokenKind.DOT

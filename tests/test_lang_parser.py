@@ -1,0 +1,168 @@
+"""PLDL parser: program structure, statements, expressions."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast_nodes as ast
+
+
+def test_paper_contact_row_parses_verbatim():
+    """Fig. 2 source (plus END) must parse as printed."""
+    program = parse(
+        """
+gatecon = ContactRow(layer = "poly", W = 1)
+
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+END
+"""
+    )
+    assert len(program.statements) == 1
+    assert len(program.entities) == 1
+    entity = program.entity("ContactRow")
+    assert [p.name for p in entity.params] == ["layer", "W", "L"]
+    assert [p.optional for p in entity.params] == [False, True, True]
+    assert len(entity.body) == 3
+
+
+def test_entity_without_end_terminated_by_next_ent():
+    program = parse(
+        """
+ENT A()
+  INBOX("poly")
+ENT B()
+  INBOX("metal1")
+"""
+    )
+    assert {e.name for e in program.entities} == {"A", "B"}
+    assert len(program.entity("A").body) == 1
+
+
+def test_assignment_vs_expression_statement():
+    program = parse("x = f()\nf()\n")
+    assert isinstance(program.statements[0], ast.Assign)
+    assert isinstance(program.statements[1], ast.ExprStatement)
+
+
+def test_if_else():
+    program = parse(
+        """
+ENT E(<W>)
+  IF W > 5
+    INBOX("poly", W)
+  ELSE
+    INBOX("poly")
+  ENDIF
+END
+"""
+    )
+    node = program.entity("E").body[0]
+    assert isinstance(node, ast.If)
+    assert isinstance(node.condition, ast.Binary)
+    assert len(node.then_body) == 1
+    assert len(node.else_body) == 1
+
+
+def test_for_loop_with_step():
+    program = parse(
+        """
+ENT E()
+  FOR i = 0 TO 10 STEP 2
+    INBOX("poly")
+  ENDFOR
+END
+"""
+    )
+    loop = program.entity("E").body[0]
+    assert isinstance(loop, ast.For)
+    assert loop.var == "i"
+    assert loop.step is not None
+
+
+def test_alt_branches():
+    program = parse(
+        """
+ENT E()
+  ALT
+    INBOX("poly")
+  ELSEALT
+    INBOX("metal1")
+  ELSEALT
+    INBOX("metal2")
+  ENDALT
+END
+"""
+    )
+    alt = program.entity("E").body[0]
+    assert isinstance(alt, ast.Alt)
+    assert len(alt.branches) == 3
+
+
+def test_expression_precedence():
+    program = parse("x = 1 + 2 * 3\n")
+    expr = program.statements[0].value
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_logic_precedence():
+    program = parse("x = a OR b AND NOT c\n")
+    expr = program.statements[0].value
+    assert expr.op == "OR"
+    assert expr.right.op == "AND"
+    assert expr.right.right.op == "NOT"
+
+
+def test_call_arguments():
+    program = parse('f(1, "s", key = 2, other = x)\n')
+    call = program.statements[0].value
+    assert len(call.args) == 2
+    assert [k for k, _ in call.kwargs] == ["key", "other"]
+
+
+def test_positional_after_keyword_rejected():
+    with pytest.raises(ParseError):
+        parse("f(key = 1, 2)\n")
+
+
+def test_duplicate_keyword_rejected():
+    with pytest.raises(ParseError):
+        parse("f(k = 1, k = 2)\n")
+
+
+def test_attribute_access():
+    program = parse("x = obj.width / 2\n")
+    expr = program.statements[0].value
+    assert expr.op == "/"
+    assert isinstance(expr.left, ast.Attribute)
+    assert expr.left.attr == "width"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "ENT ()\n",                    # missing name
+        "ENT IF()\n",                  # reserved name
+        "IF x\n  f()\n",               # missing ENDIF
+        "FOR i = 1 TO\nENDFOR\n",      # missing bound
+        "ALT\nENDIF\n",                # wrong terminator
+        "x = )\n",
+        "x = (1\n",
+        "f(,)\n",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+def test_literals():
+    program = parse("a = TRUE\nb = FALSE\nc = NIL\nd = -2.5\n")
+    assert isinstance(program.statements[0].value, ast.Boolean)
+    assert program.statements[0].value.value is True
+    assert program.statements[1].value.value is False
+    assert isinstance(program.statements[2].value, ast.Nil)
+    minus = program.statements[3].value
+    assert isinstance(minus, ast.Unary) and minus.op == "-"

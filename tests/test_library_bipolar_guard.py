@@ -1,0 +1,78 @@
+"""Bipolar modules (block F) and guard/substrate rings."""
+
+import pytest
+
+from repro.db import LayoutObject, net_is_connected
+from repro.drc import check_latchup, run_drc
+from repro.geometry import Rect
+from repro.library import (
+    guard_ring,
+    mos_transistor,
+    npn_transistor,
+    substrate_ring,
+    symmetric_npn_pair,
+)
+
+
+def test_npn_structure(tech):
+    npn = npn_transistor(tech)
+    assert run_drc(npn, include_latchup=False) == []
+    emitter = [r for r in npn.rects_on("emitter") if r.net == "e"]
+    base = npn.rects_on("base")
+    buried = npn.rects_on("buried")
+    assert emitter and base and buried
+    # Nesting: the device emitter inside base inside buried.
+    core_emitter = max(emitter, key=lambda r: r.area)
+    big_base = max(base, key=lambda r: r.area)
+    big_buried = max(buried, key=lambda r: r.area)
+    assert big_base.contains(core_emitter)
+    assert big_buried.contains(big_base)
+
+
+def test_npn_terminals_contacted(tech):
+    npn = npn_transistor(tech)
+    for net in ("e", "b", "c"):
+        cuts = [r for r in npn.rects_on("contact") if r.net == net]
+        assert cuts, net
+
+
+def test_symmetric_pair_is_mirror(tech):
+    pair = symmetric_npn_pair(tech)
+    assert run_drc(pair, include_latchup=False) == []
+    left = [r for r in pair.rects_on("emitter") if r.net == "e1"]
+    right = [r for r in pair.rects_on("emitter") if r.net == "e2"]
+    assert len(left) == len(right)
+    # Mirror: x-sorted widths match in reverse.
+    widths_l = sorted(r.width for r in left)
+    widths_r = sorted(r.width for r in right)
+    assert widths_l == widths_r
+
+
+def test_substrate_ring_fixes_latchup(tech):
+    mos = mos_transistor(tech, 10.0, 1.0)
+    assert check_latchup(mos)  # bare device: unprotected
+    substrate_ring(mos, net="sub")
+    assert check_latchup(mos) == []
+    assert run_drc(mos, include_latchup=True) == []
+
+
+def test_substrate_ring_is_contacted_and_connected(tech):
+    mos = mos_transistor(tech, 10.0, 1.0)
+    substrate_ring(mos, net="sub")
+    cuts = [r for r in mos.rects_on("contact") if r.net == "sub"]
+    assert len(cuts) >= 4  # every ring side carries contacts
+    assert net_is_connected(mos.rects, tech, "sub")
+
+
+def test_substrate_ring_uncontacted_option(tech):
+    mos = mos_transistor(tech, 10.0, 1.0)
+    substrate_ring(mos, net="sub", contacted=False)
+    assert [r for r in mos.rects_on("contact") if r.net == "sub"] == []
+
+
+def test_guard_ring_on_well(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "pdiff"))
+    sides = guard_ring(obj, layer="nwell")
+    assert len(sides) == 4
+    assert all(r.layer == "nwell" for r in sides)

@@ -1,0 +1,123 @@
+"""MOS transistor and interdigitated-row modules."""
+
+import pytest
+
+from repro.compact import Compactor
+from repro.db import net_is_connected
+from repro.drc import run_drc
+from repro.geometry import Direction
+from repro.library import (
+    DeviceNets,
+    diode_transistor,
+    interdigitated_transistor,
+    mos_transistor,
+    patterned_row,
+    strap_net,
+)
+
+
+def test_mos_transistor_structure(tech):
+    mos = mos_transistor(tech, 10.0, 1.0)
+    assert run_drc(mos, include_latchup=False) == []
+    # Gate poly connected to its contact row (overlap through the endcap).
+    assert net_is_connected(mos.rects, tech, "g")
+    # Drain east of the gate, source west.
+    gate = next(r for r in mos.rects_on("poly") if r.height > r.width)
+    drain_cuts = [r for r in mos.rects_on("contact") if r.net == "d"]
+    source_cuts = [r for r in mos.rects_on("contact") if r.net == "s"]
+    assert all(c.x1 > gate.x2 for c in drain_cuts)
+    assert all(c.x2 < gate.x1 for c in source_cuts)
+    # Contacts keep the rule distance from the gate.
+    rule = tech.min_space("poly", "contact")
+    assert min(c.x1 for c in drain_cuts) - gate.x2 == rule
+
+
+def test_gate_side_selection(tech):
+    north = mos_transistor(tech, 8.0, 1.0, gate_side="north")
+    south = mos_transistor(tech, 8.0, 1.0, gate_side="south")
+    # The contact row sits beyond the diffusion (|y| 4000) on the chosen side.
+    row_n = max(north.rects_on("contact"), key=lambda r: r.y2)
+    row_s = min(south.rects_on("contact"), key=lambda r: r.y1)
+    assert row_n.net == "g" and row_n.y1 >= 4000
+    assert row_s.net == "g" and row_s.y2 <= -4000
+
+
+def test_optional_contacts(tech):
+    bare = mos_transistor(
+        tech, 8.0, 1.0,
+        gate_contact=False, source_contact=False, drain_contact=False,
+    )
+    assert bare.rects_on("contact") == []
+    assert len(bare.rects_on("poly")) == 1
+
+
+def test_gate_side_validation(tech):
+    with pytest.raises(ValueError):
+        mos_transistor(tech, 8.0, 1.0, gate_side="east")
+
+
+def test_diode_transistor_connects_gate_to_drain(tech):
+    diode = diode_transistor(tech, 8.0, 1.0)
+    assert run_drc(diode, include_latchup=False) == []
+    assert net_is_connected(diode.rects, tech, "bias")
+
+
+def test_interdigitated_shares_columns(tech):
+    """N fingers need N+1 diffusion columns, not 2N."""
+    four = interdigitated_transistor(tech, 10.0, 1.0, fingers=4)
+    assert run_drc(four, include_latchup=False) == []
+    two = interdigitated_transistor(tech, 10.0, 1.0, fingers=2)
+    # Width grows sub-linearly per finger thanks to column sharing.
+    per_finger_4 = four.width / 4
+    per_finger_2 = two.width / 2
+    assert per_finger_4 < per_finger_2
+
+
+def test_interdigitated_validation(tech):
+    with pytest.raises(ValueError):
+        interdigitated_transistor(tech, 10.0, 1.0, fingers=0)
+
+
+def test_patterned_row_validation(tech):
+    with pytest.raises(ValueError):
+        patterned_row(tech, 10.0, 1.0, "", {})
+    with pytest.raises(ValueError):
+        patterned_row(tech, 10.0, 1.0, "AX", {"A": DeviceNets("g", "d")})
+
+
+def test_patterned_row_different_nets_keep_spacing(tech):
+    row = patterned_row(
+        tech, 10.0, 1.0, "AB",
+        {"A": DeviceNets("gA", "dA"), "B": DeviceNets("gB", "dB")},
+    )
+    assert run_drc(row, include_latchup=False) == []
+    # The two drain columns' diffusion regions stay apart.
+    d_a = [r for r in row.rects_on("pdiff") if r.net == "dA"]
+    d_b = [r for r in row.rects_on("pdiff") if r.net == "dB"]
+    assert d_a and d_b
+
+
+def test_fig5a_strap_autoconnects_sources(tech):
+    """Fig. 5a end-to-end: strap + automatic connection of the outer rows."""
+    row = patterned_row(
+        tech, 10.0, 1.0, "AA", {"A": DeviceNets("g", "d")},
+        source_net="s", gate_side="south",
+    )
+    assert not net_is_connected(row.rects, tech, "s")
+    strap_net(row, "s", Direction.SOUTH)
+    assert net_is_connected(row.rects, tech, "s")
+    assert run_drc(row, include_latchup=False) == []
+
+
+def test_fig5b_variable_edges_make_denser_layout(tech):
+    """Fig. 5b claim: variable edges give 'a substantial reduction'."""
+    def build(variable):
+        compactor = Compactor(variable_edges=variable)
+        row = patterned_row(
+            tech, 10.0, 1.0, "AA", {"A": DeviceNets("g", "d")},
+            source_net="s", gate_side="south", compactor=compactor,
+        )
+        strap_net(row, "s", Direction.SOUTH, compactor=compactor)
+        return row.area()
+
+    assert build(True) < build(False)

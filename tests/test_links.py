@@ -1,0 +1,107 @@
+"""Rebuild links: enclosure clamping and array recalculation (Fig. 5b)."""
+
+import pytest
+
+from repro.db import ArrayLink, InsideLink
+from repro.geometry import Direction, Rect
+
+
+def test_inside_link_clamps_inner():
+    outer = Rect(0, 0, 100, 100, "poly")
+    inner = Rect(-10, -10, 200, 50, "metal1")
+    link = InsideLink(inner, [(outer, 5)])
+    link.rebuild()
+    assert inner.as_tuple() == (5, 5, 95, 50)
+
+
+def test_inside_link_respects_released_edges():
+    outer = Rect(0, 0, 100, 100, "poly")
+    inner = Rect(10, 10, 90, 150, "metal1")
+    link = InsideLink(inner, [(outer, 5)])
+    link.release(Direction.NORTH)
+    link.rebuild()
+    assert inner.y2 == 150  # released edge stays stretched
+    assert inner.y1 == 10
+
+
+def test_inside_link_remap_preserves_release():
+    outer = Rect(0, 0, 100, 100, "poly")
+    inner = Rect(10, 10, 90, 90, "metal1")
+    link = InsideLink(inner, [(outer, 5)])
+    link.release(Direction.EAST)
+    new_inner = inner.copy()
+    remapped = link.remapped({id(inner): new_inner})
+    assert remapped.inner is new_inner
+    assert Direction.EAST in remapped.released
+
+
+def test_array_link_counts():
+    link = ArrayLink("contact", cut_size=10, cut_space=12, outers=[])
+    assert link.count(9) == 0
+    assert link.count(10) == 1
+    assert link.count(31) == 1
+    assert link.count(32) == 2
+    assert link.count(10 + 3 * 22) == 4
+
+
+def test_array_link_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ArrayLink("contact", cut_size=0, cut_space=5, outers=[])
+    with pytest.raises(ValueError):
+        ArrayLink("contact", cut_size=5, cut_space=-1, outers=[])
+
+
+def test_array_link_places_equidistant_flush():
+    outer = Rect(0, 0, 100, 20, "metal1")
+    link = ArrayLink("contact", cut_size=10, cut_space=12, outers=[(outer, 5)])
+    link.rebuild()
+    cuts = [r for r in link.rects if not r.is_empty]
+    # Region x: 5..95 (90 wide) → 4 cuts, ends flush at 5 and 85.
+    assert len(cuts) == 4
+    assert cuts[0].x1 == 5
+    assert cuts[-1].x2 == 95
+    gaps = [b.x1 - a.x2 for a, b in zip(cuts, cuts[1:])]
+    assert all(gap >= 12 for gap in gaps)
+    assert max(gaps) - min(gaps) <= 2  # equidistant up to rounding
+
+
+def test_array_link_single_cut_is_centred():
+    outer = Rect(0, 0, 24, 24, "metal1")
+    link = ArrayLink("contact", cut_size=10, cut_space=12, outers=[(outer, 5)])
+    link.rebuild()
+    cuts = [r for r in link.rects if not r.is_empty]
+    assert len(cuts) == 1
+    assert cuts[0].as_tuple() == (7, 7, 17, 17)
+
+
+def test_array_link_shrink_recalculates_and_reuses_rects():
+    """Fig. 5b: 'the array of contact-rectangles was recalculated'."""
+    outer = Rect(0, 0, 100, 20, "metal1")
+    link = ArrayLink("contact", cut_size=10, cut_space=12, outers=[(outer, 5)])
+    link.rebuild()
+    before = [r for r in link.rects if not r.is_empty]
+    assert len(before) == 4
+    outer.x2 = 50  # shrink the metal
+    link.rebuild()
+    after = [r for r in link.rects if not r.is_empty]
+    assert len(after) == 2
+    # Rect objects are reused (identity stable for the database).
+    assert link.rects[0] is before[0]
+    # Surplus rects collapse to empty instead of disappearing.
+    assert sum(1 for r in link.rects if r.is_empty) == 2
+
+
+def test_array_link_infeasible_region_empties_all():
+    outer = Rect(0, 0, 12, 12, "metal1")
+    link = ArrayLink("contact", cut_size=10, cut_space=12, outers=[(outer, 5)])
+    link.rebuild()
+    assert all(r.is_empty for r in link.rects)
+    assert link.region() is None or link.region().width < 10
+
+
+def test_array_link_region_intersects_outers():
+    a = Rect(0, 0, 100, 100, "poly")
+    b = Rect(20, 20, 80, 80, "metal1")
+    link = ArrayLink("contact", 10, 12, [(a, 8), (b, 5)])
+    region = link.region()
+    assert region.as_tuple() == (25, 25, 75, 75)

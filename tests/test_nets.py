@@ -1,0 +1,100 @@
+"""Connectivity extraction and parasitic estimation."""
+
+import pytest
+
+from repro.db import (
+    DisjointSet,
+    capacitance_report,
+    estimate_net_capacitance,
+    extract_connectivity,
+    net_is_connected,
+)
+from repro.geometry import Rect
+
+
+def test_disjoint_set():
+    dsu = DisjointSet(5)
+    dsu.union(0, 1)
+    dsu.union(3, 4)
+    assert dsu.find(0) == dsu.find(1)
+    assert dsu.find(3) == dsu.find(4)
+    assert dsu.find(0) != dsu.find(3)
+    dsu.union(1, 4)
+    assert dsu.find(0) == dsu.find(3)
+
+
+def test_same_layer_touching_connects(tech):
+    rects = [
+        Rect(0, 0, 10, 10, "metal1", "a"),
+        Rect(10, 0, 20, 10, "metal1", "a"),
+        Rect(100, 0, 110, 10, "metal1", "a"),
+    ]
+    components = extract_connectivity(rects, tech)
+    assert len(components) == 2
+    assert not net_is_connected(rects, tech, "a")
+
+
+def test_cut_connects_layers(tech):
+    rects = [
+        Rect(0, 0, 3000, 3000, "poly", "g"),
+        Rect(0, 0, 3000, 3000, "metal1", "g"),
+        Rect(1000, 1000, 2000, 2000, "contact", "g"),
+    ]
+    components = extract_connectivity(rects, tech)
+    assert len(components) == 1
+    assert net_is_connected(rects, tech, "g")
+
+
+def test_stacked_without_cut_stays_separate(tech):
+    rects = [
+        Rect(0, 0, 3000, 3000, "poly", "g"),
+        Rect(0, 0, 3000, 3000, "metal1", "g"),
+    ]
+    assert len(extract_connectivity(rects, tech)) == 2
+    assert not net_is_connected(rects, tech, "g")
+
+
+def test_nonconducting_layers_excluded(tech):
+    rects = [
+        Rect(0, 0, 3000, 3000, "nwell", "w"),
+        Rect(0, 0, 3000, 3000, "metal1", "w"),
+    ]
+    components = extract_connectivity(rects, tech)
+    assert len(components) == 1  # only the metal counts
+    assert all(r.layer == "metal1" for r in components[0])
+
+
+def test_single_rect_net_is_trivially_connected(tech):
+    rects = [Rect(0, 0, 10, 10, "metal1", "x")]
+    assert net_is_connected(rects, tech, "x")
+    assert net_is_connected(rects, tech, "absent")
+
+
+def test_capacitance_scales_with_area_and_perimeter(tech):
+    small = [Rect(0, 0, 1000, 1000, "metal1", "n")]
+    large = [Rect(0, 0, 2000, 2000, "metal1", "n")]
+    c_small = estimate_net_capacitance(small, tech, "n")
+    c_large = estimate_net_capacitance(large, tech, "n")
+    assert 0 < c_small < c_large
+    # Area term quadruples, perimeter term doubles: between 2x and 4x.
+    assert 2 * c_small < c_large < 4 * c_small
+
+
+def test_capacitance_only_counts_requested_net(tech):
+    rects = [
+        Rect(0, 0, 1000, 1000, "metal1", "n"),
+        Rect(0, 0, 5000, 5000, "metal1", "other"),
+    ]
+    alone = estimate_net_capacitance(rects[:1], tech, "n")
+    both = estimate_net_capacitance(rects, tech, "n")
+    assert alone == both
+
+
+def test_capacitance_report_sorted(tech):
+    rects = [
+        Rect(0, 0, 1000, 1000, "metal1", "b"),
+        Rect(0, 0, 1000, 1000, "poly", "a"),
+    ]
+    report = capacitance_report(rects, tech)
+    assert list(report) == ["a", "b"]
+    assert all(value > 0 for value in report.values())

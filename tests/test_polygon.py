@@ -1,0 +1,76 @@
+"""Rectilinear polygon decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, decompose_rectilinear, outline_area, union_area
+
+
+def test_rectangle_decomposes_to_itself():
+    rects = decompose_rectilinear([(0, 0), (10, 0), (10, 5), (0, 5)], "poly")
+    assert len(rects) == 1
+    assert rects[0].as_tuple() == (0, 0, 10, 5)
+
+
+def test_l_shape():
+    outline = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]
+    rects = decompose_rectilinear(outline, "poly")
+    assert union_area(rects) == outline_area(outline) == 12
+    for a in rects:
+        for b in rects:
+            if a is not b:
+                assert not a.intersects(b)
+
+
+def test_t_shape():
+    outline = [(0, 0), (6, 0), (6, 2), (4, 2), (4, 5), (2, 5), (2, 2), (0, 2)]
+    rects = decompose_rectilinear(outline, "poly")
+    assert union_area(rects) == outline_area(outline)
+
+
+def test_u_shape_produces_split_slabs():
+    outline = [
+        (0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4),
+    ]
+    rects = decompose_rectilinear(outline, "poly")
+    assert union_area(rects) == outline_area(outline) == 20
+
+
+def test_closed_outline_accepted():
+    closed = [(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)]
+    assert len(decompose_rectilinear(closed, "poly")) == 1
+
+
+def test_rejects_diagonal_edges():
+    with pytest.raises(ValueError):
+        decompose_rectilinear([(0, 0), (5, 5), (0, 5)], "poly")
+
+
+def test_rejects_too_few_vertices():
+    with pytest.raises(ValueError):
+        decompose_rectilinear([(0, 0), (1, 0), (1, 1)], "poly")
+
+
+def test_net_and_layer_propagate():
+    rects = decompose_rectilinear([(0, 0), (2, 0), (2, 2), (0, 2)], "metal1", "sig")
+    assert rects[0].layer == "metal1"
+    assert rects[0].net == "sig"
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=1, max_value=49),
+    st.integers(min_value=1, max_value=49),
+)
+def test_staircase_area_property(w, h, sx, sy):
+    """A two-step staircase decomposes with exact area for any step split."""
+    sx = min(sx, w - 1) if w > 1 else 0
+    sy = min(sy, h - 1) if h > 1 else 0
+    if sx == 0 or sy == 0:
+        outline = [(0, 0), (w, 0), (w, h), (0, h)]
+    else:
+        outline = [(0, 0), (w, 0), (w, sy), (sx, sy), (sx, h), (0, h)]
+    rects = decompose_rectilinear(outline, "poly")
+    assert union_area(rects) == outline_area(outline)

@@ -1,0 +1,232 @@
+"""Primitive shape functions: INBOX, ARRAY, TWORECTS, AROUND, RING, adaptor."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.geometry import Direction, Rect
+from repro.primitives import angle_adaptor, around, array, inbox, ring, tworects
+from repro.tech import RuleError
+
+
+# ---------------------------------------------------------------------------
+# INBOX
+# ---------------------------------------------------------------------------
+def test_inbox_base_rect_is_centred(tech):
+    obj = LayoutObject("o", tech)
+    rect = inbox(obj, "poly", w=2000, length=10000)
+    assert rect.as_tuple() == (-5000, -1000, 5000, 1000)
+
+
+def test_inbox_base_defaults_to_min_width(tech):
+    obj = LayoutObject("o", tech)
+    rect = inbox(obj, "poly")
+    assert rect.width == tech.min_width("poly")
+    assert rect.height == tech.min_width("poly")
+
+
+def test_inbox_rejects_nonpositive(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        inbox(obj, "poly", w=0, length=100)
+
+
+def test_inbox_rejects_unknown_layer(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        inbox(obj, "nope")
+
+
+def test_inbox_inner_fills_region(tech):
+    obj = LayoutObject("o", tech)
+    outer = inbox(obj, "poly", w=4000, length=10000)
+    inner = inbox(obj, "metal1")
+    # No enclosure rule poly→metal1: the metal fills the poly exactly.
+    assert inner.as_tuple() == outer.as_tuple()
+
+
+def test_inbox_inner_respects_enclosure(tech):
+    obj = LayoutObject("o", tech)
+    outer = inbox(obj, "nwell", w=20000, length=20000)
+    inner = inbox(obj, "pdiff")  # nwell encloses pdiff by 2.5 µm
+    assert inner.x1 == outer.x1 + 2500
+    assert inner.y2 == outer.y2 - 2500
+
+
+def test_inbox_expands_outers_when_too_small(tech):
+    """Sec. 2.2: 'all outer rectangles are expanded'."""
+    obj = LayoutObject("o", tech)
+    outer = inbox(obj, "nwell", w=4000, length=4000)
+    inner = inbox(obj, "pdiff")  # needs 2.0 min width + 2×2.5 enclosure
+    assert inner.width >= tech.min_width("pdiff")
+    assert outer.width >= 2000 + 2 * 2500
+    assert outer.contains(inner.grown(2500 - 1))
+
+
+def test_inbox_explicit_size_is_centred_in_region(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=4000, length=10000)
+    inner = inbox(obj, "metal1", w=2000, length=4000)
+    assert inner.center == (0, 0)
+    assert inner.width == 4000 and inner.height == 2000
+
+
+def test_inbox_variable_flag(tech):
+    obj = LayoutObject("o", tech)
+    rect = inbox(obj, "poly", w=2000, length=2000, variable=True)
+    assert all(rect.edge_variable(d) for d in Direction)
+
+
+# ---------------------------------------------------------------------------
+# ARRAY
+# ---------------------------------------------------------------------------
+def test_array_requires_cut_layer(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=3000, length=3000)
+    with pytest.raises(RuleError):
+        array(obj, "metal1")
+
+
+def test_array_requires_geometry(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        array(obj, "contact")
+
+
+def test_array_fills_structure(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=2600, length=10000)
+    inbox(obj, "metal1")
+    cuts = array(obj, "contact")
+    assert len(cuts) == 4
+    for cut in cuts:
+        assert cut.width == tech.cut_size("contact")
+
+
+def test_array_expands_for_first_cut(tech):
+    """'the outer geometries are expanded so that at least one rectangle
+    can be generated' (Sec. 2.2)."""
+    obj = LayoutObject("o", tech)
+    base = inbox(obj, "poly", w=1000, length=1000)
+    inbox(obj, "metal1")
+    cuts = array(obj, "contact")
+    assert len(cuts) == 1
+    assert base.width >= tech.cut_size("contact") + 2 * tech.enclosure("poly", "contact")
+    assert base.height >= tech.cut_size("contact") + 2 * tech.enclosure("poly", "contact")
+
+
+def test_array_net_assignment(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=2600, length=2600, net="g")
+    inbox(obj, "metal1", net="g")
+    cuts = array(obj, "contact", net="g")
+    assert all(c.net == "g" for c in cuts)
+
+
+# ---------------------------------------------------------------------------
+# TWORECTS
+# ---------------------------------------------------------------------------
+def test_tworects_geometry(tech):
+    obj = LayoutObject("o", tech)
+    gate, body = tworects(obj, "poly", "pdiff", 10000, 1000, "g", None)
+    assert gate.width == 1000
+    assert gate.height == 10000 + 2 * tech.extension("poly", "pdiff")
+    assert body.height == 10000
+    assert body.width == 1000 + 2 * tech.extension("pdiff", "poly")
+    assert gate.net == "g"
+    # Centred on the origin.
+    assert gate.center == (0, 0)
+    assert body.center == (0, 0)
+
+
+def test_tworects_requires_positive_dims(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        tworects(obj, "poly", "pdiff", 0, 1000)
+
+
+def test_tworects_requires_extend_rules(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        tworects(obj, "poly", "metal1", 1000, 1000)
+
+
+# ---------------------------------------------------------------------------
+# AROUND
+# ---------------------------------------------------------------------------
+def test_around_uses_enclosure_rule(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "pdiff", w=4000, length=4000)
+    well = around(obj, "nwell")
+    assert well.as_tuple() == (-2000 - 2500, -2000 - 2500, 2000 + 2500, 2000 + 2500)
+
+
+def test_around_explicit_margin(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=2000, length=2000)
+    cover = around(obj, "metal2", margin=700)
+    assert cover.as_tuple() == (-1700, -1700, 1700, 1700)
+
+
+def test_around_empty_structure_fails(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        around(obj, "nwell")
+
+
+# ---------------------------------------------------------------------------
+# RING
+# ---------------------------------------------------------------------------
+def test_ring_closes_around_structure(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "pdiff", w=4000, length=4000)
+    sides = ring(obj, "subcontact", net="sub")
+    assert len(sides) == 4
+    # The four rects form a closed loop: every side touches two others.
+    for side in sides:
+        touching = sum(
+            1
+            for other in sides
+            if other is not side and side.touches_or_intersects(other)
+        )
+        assert touching == 2
+    # Ring keeps the rule gap from the structure.
+    inner = Rect(-2000, -2000, 2000, 2000, "pdiff")
+    gap = tech.min_space("subcontact", "pdiff")
+    for side in sides:
+        assert side.distance(inner) >= gap
+
+
+def test_ring_default_width(tech):
+    obj = LayoutObject("o", tech)
+    inbox(obj, "poly", w=4000, length=4000)
+    south = ring(obj, "subcontact")[0]
+    assert south.height == tech.min_width("subcontact")
+
+
+# ---------------------------------------------------------------------------
+# angle adaptor
+# ---------------------------------------------------------------------------
+def test_adaptor_same_layer_is_one_patch(tech):
+    obj = LayoutObject("o", tech)
+    rects = angle_adaptor(obj, "metal1", "metal1", 0, 0, 2000, 3000)
+    assert len(rects) == 1
+    assert rects[0].width == 3000 and rects[0].height == 2000
+
+
+def test_adaptor_layer_change_adds_cut(tech):
+    obj = LayoutObject("o", tech)
+    rects = angle_adaptor(obj, "metal1", "metal2", 0, 0)
+    layers = {r.layer for r in rects}
+    assert layers == {"metal1", "metal2", "via"}
+    cut = next(r for r in rects if r.layer == "via")
+    for plate in rects:
+        if plate.layer == "via":
+            continue
+        enc = tech.enclosure_or_zero(plate.layer, "via")
+        assert plate.contains(cut.grown(enc))
+
+
+def test_adaptor_unconnectable_layers_fail(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        angle_adaptor(obj, "poly", "metal2", 0, 0)

@@ -1,0 +1,66 @@
+"""The rating function: area, sensitive-net capacitance, coupling."""
+
+import pytest
+
+from repro.db import LayoutObject
+from repro.geometry import Rect
+from repro.opt import Rating
+
+
+def test_area_term(tech):
+    rating = Rating(area_weight=1.0)
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1"))
+    assert rating.evaluate(obj) == pytest.approx(100.0)  # 10×10 µm
+
+
+def test_area_weight_scales(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1"))
+    assert Rating(area_weight=2.0).evaluate(obj) == pytest.approx(
+        2 * Rating(area_weight=1.0).evaluate(obj)
+    )
+
+
+def test_sensitive_net_term(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "quiet"))
+    base = Rating(area_weight=1.0).evaluate(obj)
+    unweighted = Rating(area_weight=1.0, capacitance_weights={"other": 1.0})
+    assert unweighted.evaluate(obj) == pytest.approx(base)
+    weighted = Rating(area_weight=1.0, capacitance_weights={"quiet": 1.0})
+    assert weighted.evaluate(obj) > base
+
+
+def test_coupling_counts_cross_net_overlap(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "a"))
+    obj.add_rect(Rect(5000, 0, 15000, 10000, "metal2", "b"))
+    assert Rating.coupling_area(obj) == 5000 * 10000
+    rated = Rating(area_weight=0.0, coupling_weight=1.0).evaluate(obj)
+    assert rated == pytest.approx(50.0)  # 50 µm² overlap
+
+
+def test_coupling_ignores_same_net(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "a"))
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal2", "a"))  # same net
+    assert Rating.coupling_area(obj) == 0
+
+
+def test_coupling_ignores_same_layer(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "a"))
+    obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "b"))  # same layer
+    assert Rating.coupling_area(obj) == 0
+
+
+def test_lower_is_better_semantics(tech):
+    """A denser layout must rate strictly better (smaller)."""
+    dense = LayoutObject("d", tech)
+    dense.add_rect(Rect(0, 0, 10000, 10000, "metal1"))
+    sparse = LayoutObject("s", tech)
+    sparse.add_rect(Rect(0, 0, 10000, 10000, "metal1"))
+    sparse.add_rect(Rect(40000, 0, 41000, 1000, "metal1"))
+    rating = Rating()
+    assert rating.evaluate(dense) < rating.evaluate(sparse)

@@ -1,0 +1,159 @@
+"""Region algebra: the Fig. 1 subtraction kernel, union area, coverage."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rect,
+    covered_by,
+    merge_touching,
+    overlap_classification,
+    subtract,
+    subtract_many,
+    union_area,
+)
+
+coords = st.integers(min_value=-2_000, max_value=2_000)
+sizes = st.integers(min_value=1, max_value=1_000)
+
+
+def rects(layer="locos"):
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h, layer), coords, coords, sizes, sizes
+    )
+
+
+def test_subtract_disjoint_returns_copy():
+    solid = Rect(0, 0, 10, 10, "locos")
+    out = subtract(solid, Rect(20, 20, 30, 30, "locos"))
+    assert len(out) == 1
+    assert out[0].as_tuple() == solid.as_tuple()
+    assert out[0] is not solid
+
+
+def test_subtract_full_cover_returns_nothing():
+    solid = Rect(0, 0, 10, 10, "locos")
+    assert subtract(solid, Rect(-5, -5, 15, 15, "locos")) == []
+
+
+def test_subtract_interior_hole_gives_four_pieces():
+    solid = Rect(0, 0, 10, 10, "locos")
+    pieces = subtract(solid, Rect(3, 3, 7, 7, "locos"))
+    assert len(pieces) == 4
+    assert sum(p.area for p in pieces) == 100 - 16
+
+
+def _case_cutter(solid, h_case, v_case):
+    """Build a cutter realising one of the 16 overlap cases of Fig. 1."""
+    x1, y1, x2, y2 = solid.as_tuple()
+    thirds_x = (x2 - x1) // 3
+    thirds_y = (y2 - y1) // 3
+    h_spans = {
+        0: (x1 - 10, x2 + 10),
+        1: (x1 - 10, x1 + thirds_x),
+        2: (x2 - thirds_x, x2 + 10),
+        3: (x1 + thirds_x, x2 - thirds_x),
+    }
+    v_spans = {
+        0: (y1 - 10, y2 + 10),
+        1: (y1 - 10, y1 + thirds_y),
+        2: (y2 - thirds_y, y2 + 10),
+        3: (y1 + thirds_y, y2 - thirds_y),
+    }
+    hx1, hx2 = h_spans[h_case]
+    vy1, vy2 = v_spans[v_case]
+    return Rect(hx1, vy1, hx2, vy2, "locos")
+
+
+@pytest.mark.parametrize(
+    "h_case,v_case", list(itertools.product(range(4), repeat=2))
+)
+def test_all_sixteen_overlap_cases(h_case, v_case):
+    """Fig. 1: every horizontal × vertical overlap combination is exact."""
+    solid = Rect(0, 0, 90, 90, "locos")
+    cutter = _case_cutter(solid, h_case, v_case)
+    assert overlap_classification(solid, cutter) == (h_case, v_case)
+    pieces = subtract(solid, cutter)
+    overlap = solid.intersection(cutter)
+    assert overlap is not None
+    # Exactness: piece areas sum to solid minus overlap and pieces are
+    # disjoint from the cutter and from each other.
+    assert sum(p.area for p in pieces) == solid.area - overlap.area
+    for piece in pieces:
+        assert not piece.intersects(cutter)
+    for a, b in itertools.combinations(pieces, 2):
+        assert not a.intersects(b)
+
+
+def test_overlap_classification_requires_overlap():
+    with pytest.raises(ValueError):
+        overlap_classification(
+            Rect(0, 0, 10, 10, "locos"), Rect(20, 20, 30, 30, "locos")
+        )
+
+
+def test_subtract_many_terminates_when_covered():
+    solids = [Rect(0, 0, 10, 10, "locos"), Rect(20, 0, 30, 10, "locos")]
+    covers = [Rect(-1, -1, 31, 11, "locos")]
+    assert subtract_many(solids, covers) == []
+    assert covered_by(solids, covers)
+
+
+def test_covered_by_multiple_partial_covers():
+    solid = [Rect(0, 0, 100, 10, "locos")]
+    halves = [Rect(-1, -1, 55, 11, "locos"), Rect(50, -1, 101, 11, "locos")]
+    assert covered_by(solid, halves)
+    assert not covered_by(solid, halves[:1])
+
+
+def test_union_area_basic():
+    assert union_area([]) == 0
+    assert union_area([Rect(0, 0, 10, 10, "m1")]) == 100
+    assert union_area([Rect(0, 0, 10, 10, "m1"), Rect(5, 0, 15, 10, "m1")]) == 150
+    # identical rects count once
+    assert union_area([Rect(0, 0, 10, 10, "m1")] * 3) == 100
+
+
+def test_merge_touching_merges_aligned_same_net():
+    rects = [
+        Rect(0, 0, 10, 5, "m1", net="a"),
+        Rect(10, 0, 20, 5, "m1", net="a"),
+        Rect(0, 20, 10, 25, "m1", net="a"),
+    ]
+    merged = merge_touching(rects)
+    assert len(merged) == 2
+    assert any(r.as_tuple() == (0, 0, 20, 5) for r in merged)
+
+
+def test_merge_touching_keeps_different_nets_apart():
+    rects = [
+        Rect(0, 0, 10, 5, "m1", net="a"),
+        Rect(10, 0, 20, 5, "m1", net="b"),
+    ]
+    assert len(merge_touching(rects)) == 2
+
+
+@given(rects(), rects())
+def test_subtract_conservation_property(solid, cutter):
+    """Area conservation: |solid| = |solid ∖ cutter| + |solid ∩ cutter|."""
+    pieces = subtract(solid, cutter)
+    overlap = solid.intersection(cutter)
+    overlap_area = overlap.area if overlap else 0
+    assert sum(p.area for p in pieces) + overlap_area == solid.area
+
+
+@given(st.lists(rects(), min_size=0, max_size=6))
+def test_union_area_bounds_property(items):
+    total = union_area(items)
+    assert 0 <= total <= sum(r.area for r in items)
+    if items:
+        assert total >= max(r.area for r in items)
+
+
+@given(st.lists(rects(), min_size=1, max_size=5), rects())
+def test_covered_by_iff_no_remainder(solids, cover):
+    remainder = subtract_many(solids, [cover])
+    assert covered_by(solids, [cover]) == (not remainder)

@@ -1,0 +1,146 @@
+"""Routing routines: wires, via stacks, river routing, symmetric pairs."""
+
+import pytest
+
+from repro.db import LayoutObject, net_is_connected
+from repro.drc import run_drc
+from repro.geometry import Rect
+from repro.route import (
+    count_crossings,
+    mirror_point,
+    path,
+    river_route,
+    route_symmetric_pair,
+    symmetric_via_pair,
+    verify_mirror_symmetry,
+    via_stack,
+    wire,
+)
+from repro.tech import RuleError
+
+
+# ---------------------------------------------------------------------------
+# wire / path / via
+# ---------------------------------------------------------------------------
+def test_wire_horizontal_and_vertical(tech):
+    obj = LayoutObject("o", tech)
+    h = wire(obj, "metal1", (0, 0), (10000, 0), net="n")
+    assert h.width == 10000
+    assert h.height == tech.min_width("metal1")
+    v = wire(obj, "metal1", (0, 0), (0, 8000), width=2000)
+    assert v.width == 2000 and v.height == 8000
+
+
+def test_wire_rejects_diagonal_and_zero(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        wire(obj, "metal1", (0, 0), (5, 5))
+    with pytest.raises(RuleError):
+        wire(obj, "metal1", (3, 3), (3, 3))
+
+
+def test_path_draws_corners(tech):
+    obj = LayoutObject("o", tech)
+    rects = path(obj, "metal1", [(0, 0), (10000, 0), (10000, 8000)], net="n")
+    assert len(obj.rects_on("metal1")) >= 3  # two segments + corner patch
+    assert net_is_connected(obj.rects, tech, "n")
+
+
+def test_path_needs_two_points(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        path(obj, "metal1", [(0, 0)])
+
+
+def test_via_stack_is_drc_clean_and_connects(tech):
+    obj = LayoutObject("o", tech)
+    via_stack(obj, 0, 0, "metal1", "metal2", net="n")
+    assert run_drc(obj, include_latchup=False) == []
+    assert net_is_connected(obj.rects, tech, "n")
+
+
+def test_via_stack_needs_connectable_layers(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        via_stack(obj, 0, 0, "poly", "metal2")
+
+
+# ---------------------------------------------------------------------------
+# river routing
+# ---------------------------------------------------------------------------
+def test_river_route_connects_planar_pins(tech):
+    obj = LayoutObject("o", tech)
+    sources = [(0, 0), (20000, 0), (40000, 0)]
+    targets = [(10000, 60000), (30000, 60000), (50000, 60000)]
+    nets = ["a", "b", "c"]
+    routes = river_route(obj, "metal1", sources, targets, nets)
+    assert len(routes) == 3
+    for net in nets:
+        assert net_is_connected(obj.rects, tech, net)
+    # Planar: no two different-net wires touch.
+    violations = [
+        v for v in run_drc(obj, include_latchup=False) if v.kind == "spacing"
+    ]
+    assert violations == []
+
+
+def test_river_route_straight_when_aligned(tech):
+    obj = LayoutObject("o", tech)
+    routes = river_route(obj, "metal1", [(0, 0)], [(0, 50000)], ["n"])
+    assert len(routes[0]) == 1  # a single straight segment
+
+
+def test_river_route_validations(tech):
+    obj = LayoutObject("o", tech)
+    with pytest.raises(RuleError):
+        river_route(obj, "metal1", [(0, 0)], [(0, 1), (5, 5)])
+    with pytest.raises(RuleError):
+        river_route(obj, "metal1", [(0, 0), (10, 0)], [(0, 9), (10, 9)], ["a"])
+    with pytest.raises(RuleError):  # unordered pins break planarity
+        river_route(
+            obj, "metal1", [(20000, 0), (0, 0)], [(0, 90000), (20000, 90000)]
+        )
+    with pytest.raises(RuleError):  # channel too small
+        river_route(
+            obj, "metal1",
+            [(0, 0), (20000, 0)], [(10000, 4000), (30000, 4000)],
+        )
+
+
+def test_river_route_empty_is_noop(tech):
+    obj = LayoutObject("o", tech)
+    assert river_route(obj, "metal1", [], []) == []
+
+
+# ---------------------------------------------------------------------------
+# symmetric routing
+# ---------------------------------------------------------------------------
+def test_mirror_point():
+    assert mirror_point((3, 7), 10) == (17, 7)
+    assert mirror_point((10, 0), 10) == (10, 0)
+
+
+def test_route_symmetric_pair_is_exact_mirror(tech):
+    obj = LayoutObject("o", tech)
+    points = [(0, 0), (0, 10000), (8000, 10000)]
+    route_symmetric_pair(obj, "metal1", 20000, points, "left", "right")
+    findings = verify_mirror_symmetry(obj, 20000, [("left", "right")])
+    assert findings == []
+
+
+def test_symmetric_via_pair_identical_crossings(tech):
+    obj = LayoutObject("o", tech)
+    symmetric_via_pair(obj, 10000, (0, 0), "metal1", "metal2", "l", "r")
+    symmetric_via_pair(obj, 10000, (2000, 9000), "metal1", "metal2", "l", "r")
+    assert count_crossings(obj, "l", ["via"]) == 2
+    assert count_crossings(obj, "r", ["via"]) == 2
+    assert verify_mirror_symmetry(obj, 10000, [("l", "r")]) == []
+
+
+def test_verify_mirror_symmetry_detects_asymmetry(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 1000, 1000, "metal1", "l"))
+    obj.add_rect(Rect(19000, 0, 20000, 1500, "metal1", "r"))  # taller!
+    findings = verify_mirror_symmetry(obj, 10000, [("l", "r")])
+    assert len(findings) == 1
+    assert "not mirror images" in findings[0]

@@ -1,0 +1,109 @@
+"""Stacked transistors and the pair-mismatch rating term."""
+
+import pytest
+
+from repro.db import LayoutObject, estimate_net_capacitance
+from repro.drc import run_drc
+from repro.geometry import Rect
+from repro.library import mos_transistor, stacked_transistor
+from repro.opt import Rating
+
+
+# ---------------------------------------------------------------------------
+# stacked transistor
+# ---------------------------------------------------------------------------
+def test_stacked_is_drc_clean(tech):
+    stack = stacked_transistor(tech, 10.0, 1.0, gates=3)
+    assert run_drc(stack, include_latchup=False) == []
+
+
+def test_stacked_has_no_internal_contacts(tech):
+    """The point of stacking: internal nodes stay uncontacted diffusion."""
+    stack = stacked_transistor(tech, 10.0, 1.0, gates=3)
+    contact_nets = {c.net for c in stack.rects_on("contact")}
+    assert contact_nets == {"s", "d", "g1", "g2", "g3"}
+    gates = sorted(
+        (r for r in stack.rects_on("poly") if r.height > r.width),
+        key=lambda g: g.x1,
+    )
+    assert len(gates) == 3
+    # No contact lies between the first and last gate.
+    inner = [
+        c for c in stack.rects_on("contact")
+        if gates[0].x2 < c.x1 and c.x2 < gates[-1].x1 and c.net in ("s", "d")
+    ]
+    assert inner == []
+
+
+def test_stacked_is_denser_than_contacted_devices(tech):
+    stack = stacked_transistor(tech, 10.0, 1.0, gates=3)
+    single = mos_transistor(tech, 10.0, 1.0)
+    assert stack.width < 3 * single.width
+
+
+def test_stacked_gate_pitch_is_rule_minimum(tech):
+    stack = stacked_transistor(tech, 10.0, 1.0, gates=2)
+    gates = sorted(
+        (r for r in stack.rects_on("poly") if r.height > r.width),
+        key=lambda g: g.x1,
+    )
+    # Pitch limited by the gate-row metals (1500 apart) rather than the bare
+    # poly rule; still far tighter than a contacted column would allow.
+    assert gates[1].x1 - gates[0].x2 <= 3000
+
+
+def test_stacked_validation(tech):
+    with pytest.raises(ValueError):
+        stacked_transistor(tech, 10.0, 1.0, gates=0)
+    with pytest.raises(ValueError):
+        stacked_transistor(tech, 10.0, 1.0, gates=2, gate_nets=["only_one"])
+
+
+def test_stacked_custom_gate_nets(tech):
+    stack = stacked_transistor(
+        tech, 10.0, 1.0, gates=2, gate_nets=["vin", "vcasc"]
+    )
+    assert {r.net for r in stack.rects_on("poly")} == {"vin", "vcasc"}
+
+
+# ---------------------------------------------------------------------------
+# pair-mismatch rating
+# ---------------------------------------------------------------------------
+def matched_obj(tech, extra_on_b=0):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 5000, 5000, "metal1", "a"))
+    obj.add_rect(Rect(10000, 0, 15000, 5000 + extra_on_b, "metal1", "b"))
+    return obj
+
+
+def test_pair_mismatch_zero_for_identical(tech):
+    obj = matched_obj(tech)
+    assert Rating.pair_mismatch(obj, "a", "b") == pytest.approx(0.0)
+
+
+def test_pair_mismatch_grows_with_imbalance(tech):
+    small = Rating.pair_mismatch(matched_obj(tech, 1000), "a", "b")
+    large = Rating.pair_mismatch(matched_obj(tech, 5000), "a", "b")
+    assert 0 < small < large <= 1.0
+
+
+def test_pair_mismatch_empty_nets(tech):
+    obj = LayoutObject("o", tech)
+    assert Rating.pair_mismatch(obj, "x", "y") == 0.0
+
+
+def test_rating_with_pair_term_prefers_matched_layout(tech):
+    rating = Rating(area_weight=0.0, pair_mismatch_weights={("a", "b"): 100.0})
+    matched = matched_obj(tech)
+    skewed = matched_obj(tech, 5000)
+    assert rating.evaluate(matched) < rating.evaluate(skewed)
+
+
+def test_module_e_rates_as_matched(tech):
+    from repro.library import centroid_cross_coupled_pair
+
+    module = centroid_cross_coupled_pair(tech)
+    mismatch_out = Rating.pair_mismatch(module, "outA", "outB")
+    mismatch_gate = Rating.pair_mismatch(module, "gA", "gB")
+    assert mismatch_out < 0.05
+    assert mismatch_gate < 0.05

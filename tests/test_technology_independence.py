@@ -1,0 +1,83 @@
+"""Technology independence: the same module source on different processes.
+
+The paper's core pitch: "the technology independent creation of
+parameterizable analog layouts" — module source contains no rule values, so
+running it against a different technology file must produce a legal layout
+scaled to that technology's rules.
+"""
+
+import pytest
+
+from repro.drc import run_drc
+from repro.lang import Interpreter
+from repro.library import (
+    CONTACT_ROW_SOURCE,
+    DIFF_PAIR_SOURCE,
+    centroid_cross_coupled_pair,
+    contact_row,
+    cross_coupled_pair,
+    diff_pair,
+    mos_transistor,
+    simple_current_mirror,
+    symmetric_current_mirror,
+)
+
+
+def test_contact_row_source_on_both_techs(tech, tech05):
+    for technology in (tech, tech05):
+        interp = Interpreter(technology)
+        interp.load(CONTACT_ROW_SOURCE)
+        row = interp.call("ContactRow", layer="poly", W=1.0, L=10.0)
+        assert run_drc(row, include_latchup=False) == [], technology.name
+
+
+def test_contact_row_scales_with_rules(tech, tech05):
+    coarse = contact_row(tech, "poly", w=1.0, length=10.0)
+    fine = contact_row(tech05, "poly", w=1.0, length=10.0)
+    # Smaller rules → more contacts fit in the same 10 µm row.
+    assert len(fine.rects_on("contact")) > len(coarse.rects_on("contact"))
+
+
+def test_diff_pair_source_on_both_techs(tech, tech05):
+    for technology in (tech, tech05):
+        interp = Interpreter(technology)
+        interp.load(DIFF_PAIR_SOURCE)
+        pair = interp.call("DiffPair", W=8.0, L=1.0)
+        assert run_drc(pair, include_latchup=False) == [], technology.name
+
+
+def test_diff_pair_is_denser_in_finer_technology(tech, tech05):
+    coarse = diff_pair(tech, 8.0, 1.0)
+    fine = diff_pair(tech05, 8.0, 1.0)
+    assert fine.area() < coarse.area()
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda t: mos_transistor(t, 8.0, 1.0),
+        lambda t: simple_current_mirror(t, 8.0, 1.0),
+        lambda t: symmetric_current_mirror(t, 8.0, 1.0),
+        lambda t: cross_coupled_pair(t, 8.0, 1.0),
+    ],
+)
+def test_python_generators_on_half_micron(tech05, builder):
+    module = builder(tech05)
+    assert run_drc(module, include_latchup=False) == []
+
+
+def test_module_e_on_half_micron(tech05):
+    """Even the flagship module ports to the scaled technology unchanged."""
+    module = centroid_cross_coupled_pair(tech05)
+    assert run_drc(module, include_latchup=False) == []
+
+
+def test_rule_error_when_technology_lacks_layer(tech):
+    from repro.tech import Layer, LayerKind, RuleError, Technology
+
+    bare = Technology("bare")
+    bare.add_layer(Layer("poly", 1, LayerKind.POLY))
+    interp = Interpreter(bare)
+    interp.load(CONTACT_ROW_SOURCE)
+    with pytest.raises(RuleError):
+        interp.call("ContactRow", layer="metal1")

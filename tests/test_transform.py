@@ -1,0 +1,96 @@
+"""Orthogonal transforms: composition, mirrors, edge-property remapping."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import ORIENTATIONS, Direction, Rect, Transform
+
+coords = st.integers(min_value=-1_000, max_value=1_000)
+small = st.integers(min_value=1, max_value=500)
+
+
+def rect_strategy():
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h, "poly"), coords, coords, small, small
+    )
+
+
+def transform_strategy():
+    return st.builds(
+        Transform,
+        dx=coords,
+        dy=coords,
+        rotation=st.integers(min_value=0, max_value=3),
+        mirror_x=st.booleans(),
+    )
+
+
+def test_identity():
+    rect = Rect(1, 2, 5, 9, "poly")
+    assert Transform().apply_rect(rect).as_tuple() == rect.as_tuple()
+
+
+def test_mirror_about_y_axis():
+    t = Transform.mirror_about_y(0)
+    assert t.apply_rect(Rect(2, 0, 5, 3, "poly")).as_tuple() == (-5, 0, -2, 3)
+    t5 = Transform.mirror_about_y(5)
+    assert t5.apply_rect(Rect(0, 0, 2, 3, "poly")).as_tuple() == (8, 0, 10, 3)
+
+
+def test_mirror_about_x_axis():
+    t = Transform.mirror_about_x(0)
+    assert t.apply_rect(Rect(0, 2, 3, 5, "poly")).as_tuple() == (0, -5, 3, -2)
+
+
+def test_rotate180():
+    t = Transform.rotate180(0, 0)
+    assert t.apply_rect(Rect(1, 2, 3, 4, "poly")).as_tuple() == (-3, -4, -1, -2)
+
+
+def test_mirror_remaps_edge_properties():
+    rect = Rect(0, 0, 10, 10, "poly")
+    rect.set_variable(Direction.EAST)
+    image = Transform.mirror_about_y(0).apply_rect(rect)
+    assert image.edge_variable(Direction.WEST)
+    assert not image.edge_variable(Direction.EAST)
+
+
+def test_mirror_remaps_edge_bounds():
+    rect = Rect(0, 0, 10, 10, "poly")
+    rect.edge(Direction.EAST).min_coord = 6  # east edge may shrink to x=6
+    image = Transform.mirror_about_y(0).apply_rect(rect)
+    # The image's west edge may then grow (shrink inward) to x=-6.
+    assert image.edge(Direction.WEST).max_coord == -6
+    assert image.edge(Direction.WEST).min_coord is None
+
+
+def test_direction_images():
+    t = Transform.mirror_about_y(0)
+    assert t.apply_direction(Direction.EAST) is Direction.WEST
+    assert t.apply_direction(Direction.NORTH) is Direction.NORTH
+    r = Transform(rotation=1)
+    assert r.apply_direction(Direction.EAST) is Direction.NORTH
+
+
+@given(rect_strategy(), transform_strategy())
+def test_transforms_preserve_area(rect, transform):
+    assert transform.apply_rect(rect).area == rect.area
+
+
+@given(rect_strategy())
+def test_mirror_is_involution(rect):
+    t = Transform.mirror_about_y(7)
+    twice = t.apply_rect(t.apply_rect(rect))
+    assert twice.as_tuple() == rect.as_tuple()
+
+
+@given(rect_strategy(), transform_strategy(), transform_strategy())
+def test_composition_matches_sequential_application(rect, first, second):
+    sequential = second.apply_rect(first.apply_rect(rect))
+    composed = first.then(second).apply_rect(rect)
+    assert sequential.as_tuple() == composed.as_tuple()
+
+
+def test_orientations_enumeration():
+    assert len(ORIENTATIONS) == 8
+    assert len(set(ORIENTATIONS)) == 8

@@ -13,8 +13,9 @@ if so, how far the object may travel.  Encodes the paper's special cases:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..geometry import Direction, Rect
 from ..tech import Technology
@@ -22,8 +23,11 @@ from ..tech import Technology
 #: Sentinel for "this pair never constrains the motion".
 UNCONSTRAINED = None
 
+#: Distinguishes "profile not computed yet" from a computed ``None``.
+_MISSING = object()
 
-@dataclass
+
+@dataclass(slots=True)
 class PairConstraint:
     """One active separation constraint between a moving and a fixed rect.
 
@@ -89,6 +93,24 @@ def pair_travel(moving: Rect, fixed: Rect, direction: Direction, spacing: int) -
     return (face - lead) * sign - spacing
 
 
+def _pair_profile(
+    tech: Technology, moving_layer: str, fixed_layer: str
+) -> Optional[Tuple[Optional[int], bool, bool]]:
+    """Per-layer-pair constraint profile: (rule spacing, connectable, conducting).
+
+    ``None`` means the layer pair can never constrain motion — no spacing rule
+    exists and the pair is not both-conducting, so the *no_overlap* fallback
+    can never apply either, whatever the rects' nets and flags say.
+    """
+    rule = tech.min_space(moving_layer, fixed_layer)
+    conducting = (
+        tech.layer(moving_layer).conducting and tech.layer(fixed_layer).conducting
+    )
+    if rule is None and not conducting:
+        return None
+    return (rule, tech.connectable(moving_layer, fixed_layer), conducting)
+
+
 def gather_constraints(
     tech: Technology,
     moving_rects: Sequence[Rect],
@@ -96,17 +118,71 @@ def gather_constraints(
     direction: Direction,
     ignore_layers: Iterable[str] = (),
 ) -> List[PairConstraint]:
-    """All active pair constraints for one compaction step."""
+    """All active pair constraints for one compaction step.
+
+    Semantically the all-pairs product of :func:`required_spacing` and
+    :func:`pair_travel` (in that pair order), but the rule-table work is done
+    once per *layer pair* instead of once per *rect pair*: fixed rects are
+    pre-filtered per moving layer through a memoized :func:`_pair_profile`,
+    so layer pairs that can never constrain (no SPACE rule, not both
+    conducting) skip the inner loop entirely and the remaining pairs touch no
+    rule table at all.
+    """
     ignore = frozenset(ignore_layers)
     constraints: List[PairConstraint] = []
-    for moving in moving_rects:
+    if not moving_rects or not fixed_rects:
+        return constraints
+
+    perp = direction.axis.other
+    facing = direction.opposite
+    sign = 1 if direction.is_positive else -1
+
+    profiles: Dict[Tuple[str, str], object] = {}
+    # Per moving layer: the fixed rects that can interact, in original order
+    # (relaxation iterates binding constraints in list order, so the fast
+    # path must preserve the naive loop's pair ordering exactly).
+    candidates: Dict[str, List[Tuple[Rect, Optional[int], bool, bool]]] = {}
+
+    def layer_candidates(moving_layer: str) -> List[Tuple[Rect, Optional[int], bool, bool]]:
+        cached = candidates.get(moving_layer)
+        if cached is not None:
+            return cached
+        rows: List[Tuple[Rect, Optional[int], bool, bool]] = []
         for fixed in fixed_rects:
-            spacing = required_spacing(tech, moving, fixed, ignore)
-            if spacing is UNCONSTRAINED:
+            if fixed.layer in ignore or fixed.is_empty:
                 continue
-            travel = pair_travel(moving, fixed, direction, spacing)
-            if travel is None:
+            profile = profiles.get((moving_layer, fixed.layer), _MISSING)
+            if profile is _MISSING:
+                profile = _pair_profile(tech, moving_layer, fixed.layer)
+                profiles[(moving_layer, fixed.layer)] = profile
+            if profile is None:
                 continue
+            rule, connect, conducting = profile
+            rows.append((fixed, rule, connect, conducting))
+        candidates[moving_layer] = rows
+        return rows
+
+    for moving in moving_rects:
+        if moving.layer in ignore or moving.is_empty:
+            continue
+        net = moving.net
+        no_overlap = moving.no_overlap
+        lead = moving.edge_coord(direction)
+        m1, m2 = moving.span(perp)
+        for fixed, rule, connect, conducting in layer_candidates(moving.layer):
+            if net is not None and net == fixed.net and connect:
+                continue
+            if rule is not None:
+                spacing = rule
+            elif conducting and (no_overlap or fixed.no_overlap):
+                spacing = 0
+            else:
+                continue
+            margin = spacing if spacing > 0 else 0
+            b1, b2 = fixed.span(perp)
+            if not (m1 - margin < b2 and b1 - margin < m2):
+                continue
+            travel = (fixed.edge_coord(facing) - lead) * sign - spacing
             constraints.append(PairConstraint(moving, fixed, spacing, travel))
     return constraints
 
@@ -121,8 +197,6 @@ class IntervalSet:
         """Insert [lo, hi], merging overlapping/adjacent intervals."""
         if lo >= hi:
             return
-        import bisect
-
         index = bisect.bisect_left(self._spans, [lo, hi])
         if index > 0 and self._spans[index - 1][1] >= lo:
             index -= 1
@@ -135,8 +209,6 @@ class IntervalSet:
 
     def contains(self, lo: int, hi: int) -> bool:
         """True when [lo, hi] lies inside one merged interval."""
-        import bisect
-
         index = bisect.bisect_right(self._spans, [lo + 1]) - 1
         if index < 0:
             return False

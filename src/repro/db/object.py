@@ -86,8 +86,31 @@ class LayoutObject:
 
     def copy(self, name: Optional[str] = None) -> "LayoutObject":
         """Deep copy — the PLDL statement ``trans2 = trans1``."""
-        clone = LayoutObject(name or self.name, self.tech)
-        clone.merge(self)
+        clone = self.snapshot()
+        if name is not None:
+            clone.name = name
+        return clone
+
+    def snapshot(self) -> "LayoutObject":
+        """Deep copy tuned for state caching (the order optimizer's trees).
+
+        Equivalent to :meth:`copy` but skips object construction overhead and
+        layer re-validation: rects, links and labels are cloned directly with
+        link references remapped.  The search tree snapshots one object per
+        visited order prefix, so this is a hot path.
+        """
+        clone = LayoutObject.__new__(LayoutObject)
+        clone.name = self.name
+        clone.tech = self.tech
+        mapping: Dict[int, Rect] = {}
+        rects: List[Rect] = []
+        for rect in self.rects:
+            twin = rect.copy()
+            mapping[id(rect)] = twin
+            rects.append(twin)
+        clone.rects = rects
+        clone.links = [link.remapped(mapping) for link in self.links]
+        clone.labels = [label.copy() for label in self.labels]
         return clone
 
     # ------------------------------------------------------------------

@@ -1,8 +1,14 @@
 """Optimization: rating, compaction-order search, variant backtracking."""
 
 from .anneal import AnnealingOrderOptimizer, AnnealSchedule
-from .backtrack import BacktrackError, VariantResult, select_variant
-from .order import OrderOptimizer, OrderResult, Step
+from .backtrack import (
+    BacktrackError,
+    VariantResult,
+    select_order_variants,
+    select_variant,
+)
+from .order import OrderOptimizer, OrderResult, Step, TreeOrderOptimizer
+from .prefix_tree import PrefixTree
 from .rating import Rating
 
 __all__ = [
@@ -10,9 +16,12 @@ __all__ = [
     "AnnealSchedule",
     "BacktrackError",
     "VariantResult",
+    "select_order_variants",
     "select_variant",
     "OrderOptimizer",
     "OrderResult",
+    "PrefixTree",
     "Step",
+    "TreeOrderOptimizer",
     "Rating",
 ]

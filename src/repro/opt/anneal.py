@@ -21,6 +21,7 @@ from ..compact import Compactor
 from ..db import LayoutObject
 from ..tech import Technology
 from .order import OrderResult, Step
+from .prefix_tree import PrefixTree
 from .rating import Rating
 
 
@@ -49,11 +50,19 @@ class AnnealingOrderOptimizer:
         rating: Optional[Rating] = None,
         schedule: Optional[AnnealSchedule] = None,
         seed: int = 1996,
+        prefix_cache_depth: Optional[int] = None,
     ) -> None:
         self.compactor = compactor if compactor is not None else Compactor()
         self.rating = rating if rating is not None else Rating()
         self.schedule = schedule if schedule is not None else AnnealSchedule()
         self.seed = seed
+        #: When set, trials run through a shared :class:`PrefixTree` whose
+        #: prefixes up to this depth stay cached across moves — a swap of
+        #: positions (i, j) preserves the prefix before min(i, j), so those
+        #: compaction steps are reused instead of replayed.  ``None`` keeps
+        #: the classic replay evaluation.  Scores are identical either way.
+        self.prefix_cache_depth = prefix_cache_depth
+        self._tree: Optional[PrefixTree] = None
 
     def optimize(
         self, name: str, tech: Technology, steps: Sequence[Step]
@@ -63,6 +72,11 @@ class AnnealingOrderOptimizer:
         if not steps:
             raise ValueError("no compaction steps to optimize")
         rng = random.Random(self.seed)
+        self._tree = (
+            PrefixTree(name, tech, steps, self.compactor)
+            if self.prefix_cache_depth is not None
+            else None
+        )
 
         order = tuple(range(len(steps)))
         current = self._evaluate(name, tech, steps, order)
@@ -114,4 +128,9 @@ class AnnealingOrderOptimizer:
         steps: Sequence[Step],
         order: Tuple[int, ...],
     ) -> float:
+        if self._tree is not None:
+            score = self.rating.evaluate(self._tree.layout(order))
+            # Keep shallow prefixes shared across moves, bound the memory.
+            self._tree.prune_depth(self.prefix_cache_depth)
+            return score
         return self.rating.evaluate(self._run(name, tech, steps, order))

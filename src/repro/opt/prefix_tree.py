@@ -1,0 +1,153 @@
+"""Shared-prefix search tree over compaction orders.
+
+The exhaustive order search of Sec. 2.4 replays every permutation from an
+empty layout, doing O(n!·n) compaction steps even though permutations share
+long common prefixes.  A :class:`PrefixTree` memoizes the compacted partial
+layout of each order prefix (cheap :meth:`~repro.db.LayoutObject.snapshot`
+copies), so extending a prefix by one step costs exactly one
+:meth:`~repro.compact.Compactor.compact` call — one step per *distinct*
+prefix instead of one per (permutation × step).  Badaoui & Vemuri's
+multi-placement structures use the same idea for enumerative analog
+placement.
+
+The tree serves three clients:
+
+* :class:`~repro.opt.order.TreeOrderOptimizer` walks it depth-first,
+  evicting finished subtrees so memory stays O(n);
+* :func:`~repro.opt.backtrack.select_order_variants` keeps the cache alive
+  across topology variants so variants sharing a step prefix share the
+  compaction work;
+* :class:`~repro.opt.anneal.AnnealingOrderOptimizer` (opt-in) keeps shallow
+  prefixes cached across annealing moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compact import Compactor
+from ..db import LayoutObject
+from ..tech import Technology
+
+Prefix = Tuple[int, ...]
+
+
+class PrefixTree:
+    """Caches compacted partial layouts keyed by order prefix.
+
+    *steps* is the shared step pool; a prefix is a tuple of indices into it.
+    :attr:`compact_calls` counts the compaction steps actually performed —
+    by construction at most one per distinct non-empty prefix ever queried.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tech: Technology,
+        steps: Sequence["Step"],  # noqa: F821 - import cycle with .order
+        compactor: Optional[Compactor] = None,
+    ) -> None:
+        self.name = name
+        self.tech = tech
+        self.steps = list(steps)
+        self.compactor = compactor if compactor is not None else Compactor()
+        self.compact_calls = 0
+        self._cache: Dict[Prefix, LayoutObject] = {}
+
+    # ------------------------------------------------------------------
+    def layout(self, prefix: Sequence[int]) -> LayoutObject:
+        """The compacted partial layout of *prefix* (cached).
+
+        Returns the tree's internal state object — callers must NOT mutate
+        it; use :meth:`realize` for an independent copy.  Missing ancestors
+        are computed on demand, one compaction step each.
+        """
+        prefix = tuple(prefix)
+        cached = self._cache.get(prefix)
+        if cached is not None:
+            return cached
+        if not prefix:
+            state = LayoutObject(self.name, self.tech)
+        else:
+            index = prefix[-1]
+            if not 0 <= index < len(self.steps):
+                raise IndexError(f"step index {index} out of range")
+            parent = self.layout(prefix[:-1])
+            state = parent.snapshot()
+            step = self.steps[index].fresh()
+            self.compactor.compact(state, step.obj, step.direction, step.ignore)
+            self.compact_calls += 1
+        self._cache[prefix] = state
+        return state
+
+    def realize(self, prefix: Sequence[int]) -> LayoutObject:
+        """An independent copy of the prefix's layout (safe to mutate)."""
+        return self.layout(prefix).snapshot()
+
+    def advance(self, prefix: Sequence[int], index: int) -> LayoutObject:
+        """``layout(prefix + (index,))``, donating the parent state.
+
+        The parent's cache entry is consumed and compacted into *in place* —
+        one compaction step and **no snapshot**.  Only valid when the caller
+        is done querying the parent prefix (the depth-first optimizer uses it
+        for the last child expanded from each node, which saves the deepest —
+        most expensive — snapshots).  Falls back to :meth:`layout` when the
+        parent is not resident.
+        """
+        prefix = tuple(prefix)
+        child = prefix + (index,)
+        cached = self._cache.get(child)
+        if cached is not None:
+            return cached
+        parent = self._cache.pop(prefix, None)
+        if parent is None:
+            return self.layout(child)
+        if not 0 <= index < len(self.steps):
+            self._cache[prefix] = parent  # restore before failing
+            raise IndexError(f"step index {index} out of range")
+        step = self.steps[index].fresh()
+        self.compactor.compact(parent, step.obj, step.direction, step.ignore)
+        self.compact_calls += 1
+        self._cache[child] = parent
+        return parent
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def evict(self, prefix: Sequence[int]) -> int:
+        """Drop *prefix* and every cached extension; returns entries dropped.
+
+        The depth-first optimizer calls this when a subtree is exhausted, so
+        only the current search path (plus the root) stays resident.
+        """
+        prefix = tuple(prefix)
+        depth = len(prefix)
+        doomed = [
+            key
+            for key in self._cache
+            if len(key) >= depth and key[:depth] == prefix
+        ]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
+
+    def prune_depth(self, max_depth: int) -> int:
+        """Drop every cached prefix longer than *max_depth* entries.
+
+        Bounds memory for long-running clients (annealing) that want shallow
+        prefixes to stay shared across many evaluations.
+        """
+        doomed = [key for key in self._cache if len(key) > max_depth]
+        for key in doomed:
+            del self._cache[key]
+        return len(doomed)
+
+    def cached_prefixes(self) -> int:
+        """Number of partial layouts currently resident."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixTree(steps={len(self.steps)}, cached={len(self._cache)},"
+            f" compact_calls={self.compact_calls})"
+        )

@@ -48,6 +48,43 @@ class Rating:
             score += weight * self.pair_mismatch(obj, net_a, net_b)
         return score
 
+    def bounded(self) -> bool:
+        """Whether :meth:`lower_bound` can give a finite bound.
+
+        True iff every weight is non-negative — a negative weight would let a
+        completion *reduce* the score below the partial area term, so the
+        bound degenerates to ``-inf`` and branch-and-bound disables itself.
+        """
+        return not (
+            self.area_weight < 0
+            or self.coupling_weight < 0
+            or any(w < 0 for w in self.capacitance_weights.values())
+            or any(w < 0 for w in self.pair_mismatch_weights.values())
+        )
+
+    def lower_bound(
+        self, obj: LayoutObject, min_width: int = 0, min_height: int = 0
+    ) -> float:
+        """A lower bound on the score of any layout extending *obj*.
+
+        Used by branch-and-bound order search: merging further objects into a
+        partial layout can only grow its bounding box, so the area term alone
+        already bounds every completion from below; the electrical terms are
+        all non-negative and are simply dropped.  ``min_width`` /
+        ``min_height`` tighten the bound with dimensions the final bounding
+        box must reach anyway (each yet-unplaced fixed-edge object fits
+        inside it whole).  When any weight is negative (:meth:`bounded` is
+        false) the bound degenerates to ``-inf`` (pruning silently disables
+        itself rather than cutting optimal subtrees).
+        """
+        if not self.bounded():
+            return float("-inf")
+        box = obj.bbox()
+        width = max(box.width if box else 0, min_width)
+        height = max(box.height if box else 0, min_height)
+        dbu2 = obj.tech.dbu_per_micron ** 2
+        return self.area_weight * (width * height / dbu2)
+
     @staticmethod
     def pair_mismatch(obj: LayoutObject, net_a: str, net_b: str) -> float:
         """Relative capacitance mismatch of a matched pair, in [0, 1]."""

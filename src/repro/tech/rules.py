@@ -61,6 +61,17 @@ class RuleSet:
         self._latchup: Dict[str, int] = {}
         self._cap: Dict[str, CapacitanceRule] = {}
         self._sheet: Dict[str, float] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every registration.
+
+        Query caches (:class:`repro.tech.Technology` memoizes ``min_space`` /
+        ``connectable``) key their validity on this value, so late rule
+        registration invalidates them automatically.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # registration
@@ -68,38 +79,47 @@ class RuleSet:
     def set_width(self, layer: str, value: int) -> None:
         """Register a minimum width."""
         self._width[layer] = int(value)
+        self._version += 1
 
     def set_space(self, layer_a: str, layer_b: str, value: int) -> None:
         """Register a minimum spacing between two (possibly equal) layers."""
         self._space[_pair(layer_a, layer_b)] = int(value)
+        self._version += 1
 
     def set_enclose(self, outer: str, inner: str, value: int) -> None:
         """Register a minimum enclosure of *inner* by *outer* (ordered)."""
         self._enclose[(outer, inner)] = int(value)
+        self._version += 1
 
     def set_extend(self, layer: str, over: str, value: int) -> None:
         """Register a minimum extension of *layer* past *over* (ordered)."""
         self._extend[(layer, over)] = int(value)
+        self._version += 1
 
     def set_cut_size(self, layer: str, value: int) -> None:
         """Register the fixed square size of a cut layer."""
         self._cut_size[layer] = int(value)
+        self._version += 1
 
     def set_area(self, layer: str, value: int) -> None:
         """Register a minimum area."""
         self._area[layer] = int(value)
+        self._version += 1
 
     def set_latchup(self, contact_layer: str, half_size: int) -> None:
         """Register the latch-up temporary-rectangle half size."""
         self._latchup[contact_layer] = int(half_size)
+        self._version += 1
 
     def set_capacitance(self, layer: str, area: float, perimeter: float) -> None:
         """Register the parasitic capacitance model of a layer."""
         self._cap[layer] = CapacitanceRule(area, perimeter)
+        self._version += 1
 
     def set_sheet(self, layer: str, ohms_per_square: float) -> None:
         """Register the sheet resistance of a layer (Ω/□)."""
         self._sheet[layer] = float(ohms_per_square)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -11,6 +11,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from .layer import Layer, LayerKind
 from .rules import CapacitanceRule, RuleError, RuleSet
 
+#: Distinguishes "not cached yet" from a cached ``None`` (= unconstrained).
+_MISSING = object()
+
 
 class Technology:
     """A process technology: named layers, design rules, connectivity.
@@ -31,6 +34,19 @@ class Technology:
         # layer pairs whose overlap is a diffused junction (e.g. an n+
         # sinker into a buried collector): overlap = electrical connection.
         self._overlap_connections: List[Tuple[str, str]] = []
+        # Memoized min_space/connectable answers.  The compactor's inner pair
+        # loop asks the same layer-pair questions millions of times during an
+        # order sweep; the cache is keyed on the rule-table version and the
+        # connection count so late registration invalidates it automatically.
+        self._query_cache: Dict[Tuple, object] = {}
+        self._query_stamp: Tuple[int, int] = (-1, -1)
+
+    def _queries(self) -> Dict[Tuple, object]:
+        stamp = (self.rules.version, len(self._connections))
+        if stamp != self._query_stamp:
+            self._query_cache.clear()
+            self._query_stamp = stamp
+        return self._query_cache
 
     # ------------------------------------------------------------------
     # units
@@ -121,7 +137,15 @@ class Technology:
         compactor must keep enforcing it (a same-net contact still may not
         sit 0.5 µm from a gate edge).
         """
-        return layer_a == layer_b or self.cut_between(layer_a, layer_b) is not None
+        if layer_a == layer_b:
+            return True
+        cache = self._queries()
+        key = ("connectable", layer_a, layer_b)
+        cached = cache.get(key)
+        if cached is None:
+            cached = self.cut_between(layer_a, layer_b) is not None
+            cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # mandatory-rule accessors (raise when the rule is missing)
@@ -136,7 +160,13 @@ class Technology:
 
     def min_space(self, layer_a: str, layer_b: str) -> Optional[int]:
         """Minimum spacing between two layers; None when unconstrained."""
-        return self.rules.space(layer_a, layer_b)
+        cache = self._queries()
+        key = ("space", layer_a, layer_b)
+        cached = cache.get(key, _MISSING)
+        if cached is _MISSING:
+            cached = self.rules.space(layer_a, layer_b)
+            cache[key] = cached
+        return cached
 
     def enclosure(self, outer: str, inner: str) -> int:
         """Mandatory enclosure of *inner* by *outer*."""

@@ -130,3 +130,71 @@ def test_order_invariance_of_legality(rect_list):
             if a.net == b.net:
                 continue
             assert a.distance(b) >= rule
+
+
+mixed_rects = st.builds(
+    lambda x, y, w, h, layer, net, no_overlap: Rect(
+        x, y, x + w, y + h, layer, net, no_overlap=no_overlap
+    ),
+    st.integers(min_value=-40_000, max_value=40_000),
+    st.integers(min_value=-40_000, max_value=40_000),
+    st.integers(min_value=1_500, max_value=15_000),
+    st.integers(min_value=1_500, max_value=15_000),
+    st.sampled_from(["metal1", "metal2", "poly", "ndiff"]),
+    st.sampled_from(["a", "b", None]),
+    st.booleans(),
+)
+
+
+@st.composite
+def mixed_structures(draw):
+    rects = draw(st.lists(mixed_rects, min_size=1, max_size=5))
+    obj = LayoutObject("main", TECH)
+    for rect in rects:
+        obj.add_rect(rect)
+    return obj
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(mixed_structures(), mixed_rects, directions)
+def test_frontier_filter_soundness(main, moving_rect, direction):
+    """The frontier filter never changes the final travel.
+
+    Dropping rects hidden behind the outer-edge frontier is a pure
+    speed-up: the surviving constraints must already be the binding ones,
+    whatever mix of layers, nets, and no_overlap flags is in play.
+    """
+    def run(use_frontier):
+        local_main = LayoutObject("lm", TECH)
+        for rect in main.nonempty_rects:
+            local_main.add_rect(rect.copy())
+        mover = LayoutObject("m", TECH)
+        mover.add_rect(moving_rect.copy())
+        compactor = Compactor(
+            use_frontier=use_frontier, variable_edges=False, auto_connect=False
+        )
+        return compactor.compact(local_main, mover, direction).travel
+
+    assert run(True) == run(False)
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(mixed_structures(), mixed_rects, directions)
+def test_gather_constraints_fast_path_matches_naive_product(main, moving_rect, direction):
+    """The per-layer fast path equals the all-pairs reference, in order."""
+    from repro.compact.separation import pair_travel, required_spacing
+
+    fixed = main.nonempty_rects
+    fast = gather_constraints(TECH, [moving_rect], fixed, direction)
+
+    naive = []
+    for other in fixed:
+        spacing = required_spacing(TECH, moving_rect, other, frozenset())
+        if spacing is None:
+            continue
+        travel = pair_travel(moving_rect, other, direction, spacing)
+        if travel is None:
+            continue
+        naive.append((id(other), spacing, travel))
+
+    assert [(id(c.fixed), c.spacing, c.max_travel) for c in fast] == naive

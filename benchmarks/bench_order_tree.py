@@ -7,7 +7,9 @@ each distinct order prefix (one step per prefix), optionally prunes subtrees
 by the area lower bound, and can fan first-step subtrees out to worker
 processes.  This bench races the four engines on a heterogeneous module of
 transistor-like devices (diffusion + poly + metal straps) at 4-8 objects and
-writes ``benchmarks/results/BENCH_optimizer.json``.
+writes ``benchmarks/results/BENCH_optimizer.json``.  Each serial engine runs
+under a :class:`repro.obs.Tracer`, so every entry carries a per-stage split
+(compaction vs candidate rating vs tree bookkeeping) from the obs timers.
 
 Run ``BENCH_SMOKE=1 pytest benchmarks/bench_order_tree.py`` for the quick
 CI variant (4-5 objects, no headline-speedup assertion).
@@ -21,6 +23,7 @@ from pathlib import Path
 from repro.compact import Compactor
 from repro.db import LayoutObject
 from repro.geometry import Direction, Rect
+from repro.obs import StatsSink, Tracer, activate
 from repro.opt import OrderOptimizer, Step, TreeOrderOptimizer
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -63,9 +66,32 @@ def make_steps(tech, count):
 
 
 def _timed(optimize, name, tech, steps):
-    start = time.perf_counter()
-    result = optimize(name, tech, steps)
-    return time.perf_counter() - start, result
+    """Run one engine under a fresh tracer; returns (wall_s, result, stages).
+
+    The per-stage split comes from the obs timers: ``compact_s`` is time in
+    :meth:`Compactor.compact` steps (``compact.step`` spans), ``rating_s``
+    is candidate evaluation (``opt.rate`` spans), and ``bookkeeping_s`` is
+    the remainder — snapshots, cache management, permutation walking.  The
+    parallel engine compacts in worker processes (fresh disabled tracers),
+    so its stage split only covers the coordinating process.
+    """
+    tracer = Tracer(enabled=True)
+    stats = StatsSink()
+    tracer.add_sink(stats)
+    with activate(tracer):
+        start = time.perf_counter()
+        result = optimize(name, tech, steps)
+        wall = time.perf_counter() - start
+    compact_s = stats.total_s("compact.step")
+    rating_s = stats.total_s("opt.rate")
+    stages = {
+        "compact_s": compact_s,
+        "rating_s": rating_s,
+        "bookkeeping_s": max(0.0, wall - compact_s - rating_s),
+        "snapshots": stats.counter("opt.tree.snapshots"),
+        "cache_hits": stats.counter("opt.tree.cache_hits"),
+    }
+    return wall, result, stages
 
 
 def test_order_tree_scaling(tech, record):
@@ -83,7 +109,7 @@ def test_order_tree_scaling(tech, record):
             replay_opt = OrderOptimizer(
                 compactor=Compactor(), exhaustive_limit=REPLAY_MAX
             )
-            entry["replay_s"], replay = _timed(
+            entry["replay_s"], replay, entry["replay_stages"] = _timed(
                 replay_opt.optimize, "m", tech, steps
             )
             entry["replay_compacts"] = replay_opt.compactor.calls
@@ -92,7 +118,7 @@ def test_order_tree_scaling(tech, record):
 
         tree = None
         if count <= TREE_MAX:
-            entry["tree_s"], tree = _timed(
+            entry["tree_s"], tree, entry["tree_stages"] = _timed(
                 TreeOrderOptimizer(compactor=Compactor(), prune=False).optimize,
                 "m", tech, steps,
             )
@@ -100,14 +126,14 @@ def test_order_tree_scaling(tech, record):
         else:
             entry["tree_s"] = None  # visits every permutation — dropped
 
-        entry["pruned_s"], pruned = _timed(
+        entry["pruned_s"], pruned, entry["pruned_stages"] = _timed(
             TreeOrderOptimizer(compactor=Compactor(), prune=True).optimize,
             "m", tech, steps,
         )
         entry["pruned_compacts"] = pruned.compact_calls
         entry["pruned_orders_skipped"] = pruned.pruned
 
-        entry["parallel_s"], parallel = _timed(
+        entry["parallel_s"], parallel, _ = _timed(
             TreeOrderOptimizer(
                 compactor=Compactor(), prune=True, workers=2
             ).optimize,
@@ -136,6 +162,7 @@ def test_order_tree_scaling(tech, record):
         def fmt(value):
             return f"{value:7.3f}s" if value is not None else "      —"
 
+        stages = entry["pruned_stages"]
         lines.append(
             f"  n={count}: replay {fmt(entry['replay_s'])}"
             f"  tree {fmt(entry['tree_s'])}"
@@ -143,6 +170,9 @@ def test_order_tree_scaling(tech, record):
             f" ({entry['pruned_compacts']}c,"
             f" skip {entry['pruned_orders_skipped']})"
             f"  parallel {fmt(entry['parallel_s'])}"
+            f"  [pruned split: compact {stages['compact_s']:.2f}s"
+            f" rate {stages['rating_s']:.2f}s"
+            f" tree {stages['bookkeeping_s']:.2f}s]"
         )
 
     if headline is not None:

@@ -2,14 +2,16 @@
 """Quickstart: the module generator environment in a dozen lines.
 
 Loads the paper's Fig. 2 contact-row source, builds the three Fig. 3
-parameterizations, checks the design rules and writes GDSII + SVG output.
+parameterizations, checks the design rules and writes GDSII + SVG output —
+then rebuilds one variant under the tracer to show where the time goes
+(see docs/observability.md).
 
 Run:  python examples/quickstart.py
 """
 
 from pathlib import Path
 
-from repro import Environment
+from repro import Environment, obs
 from repro.drc import format_report
 from repro.library import CONTACT_ROW_SOURCE
 
@@ -41,6 +43,21 @@ def main():
         env.write_svg(row, OUT / f"contact_row_{name}.svg", scale=0.05)
 
     print(f"\nGDSII and SVG written to {OUT}/")
+
+    # Tracing walkthrough: rerun one build with the process tracer live.
+    # StatsSink aggregates in memory; ChromeTraceSink writes a trace you can
+    # open in https://ui.perfetto.dev (the CLI equivalents are `repro stats
+    # build ...` and `repro --trace out.json build ...`).
+    tracer = obs.Tracer(enabled=True)
+    stats = tracer.add_sink(obs.StatsSink())
+    tracer.add_sink(obs.ChromeTraceSink(OUT / "quickstart_trace.json"))
+    with obs.activate(tracer):
+        env.build("ContactRow", layer="poly", W=1.0, L=10.0)
+    tracer.close()
+    print("\nTraced rebuild of the full variant:")
+    print(stats.format_table())
+    print(f"\nChrome trace written to {OUT}/quickstart_trace.json"
+          " (open in Perfetto)")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,12 @@ drc             design-rule-check a layout file (GDS or text dump)
 render          render a layout file to SVG
 session         record the two-window design session as HTML
 amplifier       build the Sec. 3 BiCMOS amplifier example
+stats           run any command under the tracer, print a profiling summary
 ==============  ==============================================================
+
+``--trace out.json`` (before the command) records a Chrome trace-event
+profile of any command; ``-v``/``-q`` widen or silence diagnostics, which
+flow through the ``repro.*`` logging hierarchy.
 """
 
 from __future__ import annotations
@@ -27,6 +32,14 @@ from .db import LayoutObject
 from .drc import format_report, run_drc
 from .io import dumps_object, read_gds, render_svg, write_gds, write_svg
 from .io.textdump import load_object
+from .obs import (
+    ChromeTraceSink,
+    StatsSink,
+    Tracer,
+    configure_logging,
+    get_logger,
+    set_tracer,
+)
 from .tech import (
     BUILTIN_TECHNOLOGIES,
     Technology,
@@ -35,6 +48,8 @@ from .tech import (
     get_technology,
     load_tech,
 )
+
+log = get_logger("cli")
 
 
 def _resolve_tech(spec: str) -> Technology:
@@ -91,7 +106,7 @@ def cmd_tech(args: argparse.Namespace) -> int:
     tech = _resolve_tech(args.name)
     if args.output:
         dump_tech(tech, args.output)
-        print(f"wrote {args.output}")
+        log.info("wrote %s", args.output)
     else:
         print(dumps_tech(tech), end="")
     return 0
@@ -112,18 +127,18 @@ def cmd_build(args: argparse.Namespace) -> int:
         status = 1 if violations else 0
     if args.gds:
         write_gds(module, args.gds)
-        print(f"wrote {args.gds}")
+        log.info("wrote %s", args.gds)
     if args.cif:
         from .io import write_cif
 
         write_cif(module, args.cif)
-        print(f"wrote {args.cif}")
+        log.info("wrote %s", args.cif)
     if args.svg:
         write_svg(module, args.svg, scale=args.scale)
-        print(f"wrote {args.svg}")
+        log.info("wrote %s", args.svg)
     if args.dump:
         Path(args.dump).write_text(dumps_object(module), encoding="utf-8")
-        print(f"wrote {args.dump}")
+        log.info("wrote %s", args.dump)
     return status
 
 
@@ -145,7 +160,7 @@ def cmd_translate(args: argparse.Namespace) -> int:
     code = env.translate(Path(args.source).read_text(encoding="utf-8"))
     if args.output:
         Path(args.output).write_text(code, encoding="utf-8")
-        print(f"wrote {args.output}")
+        log.info("wrote %s", args.output)
     else:
         print(code, end="")
     return 0
@@ -163,7 +178,7 @@ def cmd_render(args: argparse.Namespace) -> int:
     tech = _resolve_tech(args.tech)
     layout = _load_layout(args.layout, tech)
     write_svg(layout, args.output, scale=args.scale)
-    print(f"wrote {args.output}")
+    log.info("wrote %s", args.output)
     return 0
 
 
@@ -171,7 +186,7 @@ def cmd_session(args: argparse.Namespace) -> int:
     session = DesignSession(tech=_resolve_tech(args.tech))
     session.run(Path(args.source).read_text(encoding="utf-8"))
     session.save_html(args.output)
-    print(f"recorded {len(session.snapshots)} snapshots → {args.output}")
+    log.info("recorded %d snapshots → %s", len(session.snapshots), args.output)
     return 0
 
 
@@ -195,6 +210,8 @@ def cmd_amplifier(args: argparse.Namespace) -> int:
     from .amplifier import build_amplifier, measure_amplifier
 
     tech = _resolve_tech(args.tech)
+    if not args.no_selfcheck:
+        _pipeline_selfcheck(tech)
     amp = build_amplifier(tech)
     report = measure_amplifier(amp)
     print(f"amplifier: {report.width_um:.0f} × {report.height_um:.0f} µm = "
@@ -203,8 +220,41 @@ def cmd_amplifier(args: argparse.Namespace) -> int:
     out.mkdir(parents=True, exist_ok=True)
     write_gds(amp, out / "bicmos_amplifier.gds")
     write_svg(amp, out / "bicmos_amplifier.svg", scale=0.004)
-    print(f"wrote {out}/bicmos_amplifier.gds and .svg")
+    log.info("wrote %s/bicmos_amplifier.gds and .svg", out)
     return 0
+
+
+def _pipeline_selfcheck(tech: Technology) -> None:
+    """Exercise interpreter and order optimizer ahead of the amplifier build.
+
+    The amplifier itself is assembled in Python (compactor + DRC); a traced
+    run should show spans from all four instrumented layers, so build the
+    library transistor from its PLDL source (interpreter → compactor) and
+    sweep a small compaction-order search (optimizer) first.
+    """
+    from .geometry import Direction
+    from .library import contact_row
+    from .library.dsl_sources import TRANSISTOR_SOURCE
+    from .opt import Step, TreeOrderOptimizer
+
+    env = Environment(tech=tech)
+    env.load(TRANSISTOR_SOURCE)
+    transistor = env.build("Transistor", W=4.0, L=1.0)
+    log.info(
+        "selfcheck: PLDL Transistor %d × %d dbu (%d rects)",
+        transistor.width, transistor.height, len(transistor.nonempty_rects),
+    )
+    steps = [
+        Step(contact_row(tech, "pdiff", w=4.0, net="a", name="a"), Direction.WEST),
+        Step(contact_row(tech, "pdiff", w=8.0, net="b", name="b"), Direction.SOUTH),
+        Step(contact_row(tech, "poly", w=2.0, length=12.0, net="c", name="c"),
+             Direction.WEST),
+    ]
+    result = TreeOrderOptimizer().optimize("order_demo", tech, steps)
+    log.info(
+        "selfcheck: order search best=%s score=%.0f (%d trials)",
+        list(result.best_order), result.best_score, result.evaluated,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +263,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Analog module generator environment (DATE 1996 reproduction)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event JSON of the command to PATH"
+             " (open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more diagnostics (repeatable; -v enables DEBUG logging)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress status diagnostics (warnings and errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -273,15 +336,68 @@ def build_parser() -> argparse.ArgumentParser:
     amplifier = sub.add_parser("amplifier", help="build the Sec. 3 amplifier")
     amplifier.add_argument("-o", "--output", default="amplifier_out")
     amplifier.add_argument("--tech", default="generic_bicmos_1u")
+    amplifier.add_argument(
+        "--no-selfcheck", action="store_true",
+        help="skip the interpreter/optimizer pipeline exercise",
+    )
     amplifier.set_defaults(func=cmd_amplifier)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a repro command under the tracer and print a span/counter"
+             " summary table",
+    )
+    stats.add_argument(
+        "stats_argv", nargs=argparse.REMAINDER, metavar="command",
+        help="the repro command to run, e.g. 'repro stats amplifier'",
+    )
+    stats.set_defaults(func=None)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    configure_logging(-1 if args.quiet else args.verbose)
+
+    want_stats = args.command == "stats"
+    if want_stats:
+        inner = list(args.stats_argv)
+        if inner and inner[0] == "--":
+            inner = inner[1:]
+        if not inner:
+            parser.error("stats: expected a command to run, e.g. 'repro stats"
+                         " amplifier'")
+        outer = args
+        args = parser.parse_args(inner)
+        if args.command == "stats":
+            parser.error("stats: cannot be nested")
+        if outer.trace and not args.trace:
+            args.trace = outer.trace
+        configure_logging(-1 if (args.quiet or outer.quiet)
+                          else max(args.verbose, outer.verbose))
+
+    if not want_stats and not args.trace:
+        return args.func(args)
+
+    tracer = Tracer(enabled=True)
+    stats_sink = StatsSink()
+    tracer.add_sink(stats_sink)
+    if args.trace:
+        tracer.add_sink(ChromeTraceSink(args.trace))
+    previous = set_tracer(tracer)
+    try:
+        status = args.func(args)
+    finally:
+        set_tracer(previous)
+        tracer.close()
+        if args.trace:
+            log.info("wrote trace %s", args.trace)
+        if want_stats:
+            print(stats_sink.format_table())
+    return status
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..db import LayoutObject
 from ..geometry import Direction, Rect
+from ..obs import get_logger, get_tracer
 from .separation import (
     PairConstraint,
     frontier_filter,
@@ -35,6 +36,8 @@ from .separation import (
 
 #: Hard cap on variable-edge iterations per compaction step.
 MAX_SHRINK_ROUNDS = 64
+
+log = get_logger("compact")
 
 
 @dataclass
@@ -88,6 +91,30 @@ class Compactor:
         if main.tech is not obj.tech:
             raise ValueError("cannot compact objects from different technologies")
         self.calls += 1
+        tracer = get_tracer()
+        with tracer.span(
+            "compact.step", obj=obj.name, into=main.name, direction=direction.name
+        ):
+            result = self._compact_step(main, obj, direction, ignore_layers)
+        tracer.count("compact.steps")
+        tracer.count("compact.merged_rects", len(result.merged_rects))
+        tracer.count("compact.relaxed_edges", result.shrunk_edges)
+        tracer.count("compact.auto_connects", result.connected)
+        if log.isEnabledFor(10):  # logging.DEBUG
+            log.debug(
+                "step %d: %s -> %s %s travel=%d shrunk=%d connected=%d",
+                self.calls, obj.name, main.name, direction.name,
+                result.travel, result.shrunk_edges, result.connected,
+            )
+        return result
+
+    def _compact_step(
+        self,
+        main: LayoutObject,
+        obj: LayoutObject,
+        direction: Direction,
+        ignore_layers: Iterable[str],
+    ) -> CompactionResult:
         result = CompactionResult(travel=0, direction=direction)
 
         if main.is_empty():
@@ -118,9 +145,11 @@ class Compactor:
     ) -> Tuple[int, int]:
         """Final travel after exhausting variable-edge moves."""
         ignore = tuple(ignore_layers)
+        tracer = get_tracer()
         shrunk = 0
         last_travel: Optional[int] = None
         for _ in range(MAX_SHRINK_ROUNDS if self.variable_edges else 1):
+            tracer.count("compact.shrink_rounds")
             constraints = self._constraints(main, obj, direction, ignore)
             if not constraints:
                 # Relaxation may have deactivated the final constraint; the
@@ -168,10 +197,14 @@ class Compactor:
             arrival_nets = frozenset(
                 rect.net for rect in obj.nonempty_rects if rect.net is not None
             )
+            before = len(fixed)
             fixed = frontier_filter(fixed, direction, arrival_nets)
-        return gather_constraints(
+            get_tracer().count("compact.frontier_dropped", before - len(fixed))
+        constraints = gather_constraints(
             main.tech, obj.nonempty_rects, fixed, direction, ignore
         )
+        get_tracer().count("compact.constraints", len(constraints))
+        return constraints
 
     def _fallback_travel(
         self, main: LayoutObject, obj: LayoutObject, direction: Direction

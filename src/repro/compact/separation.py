@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..geometry import Direction, Rect
+from ..obs import get_tracer
 from ..tech import Technology
 
 #: Sentinel for "this pair never constrains the motion".
@@ -162,6 +163,7 @@ def gather_constraints(
         candidates[moving_layer] = rows
         return rows
 
+    pairs_scanned = 0
     for moving in moving_rects:
         if moving.layer in ignore or moving.is_empty:
             continue
@@ -169,7 +171,9 @@ def gather_constraints(
         no_overlap = moving.no_overlap
         lead = moving.edge_coord(direction)
         m1, m2 = moving.span(perp)
-        for fixed, rule, connect, conducting in layer_candidates(moving.layer):
+        rows = layer_candidates(moving.layer)
+        pairs_scanned += len(rows)
+        for fixed, rule, connect, conducting in rows:
             if net is not None and net == fixed.net and connect:
                 continue
             if rule is not None:
@@ -184,6 +188,7 @@ def gather_constraints(
                 continue
             travel = (fixed.edge_coord(facing) - lead) * sign - spacing
             constraints.append(PairConstraint(moving, fixed, spacing, travel))
+    get_tracer().count("compact.pairs_scanned", pairs_scanned)
     return constraints
 
 

@@ -14,9 +14,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..db import DisjointSet, LayoutObject
 from ..geometry import Rect, bounding_box
+from ..obs import get_logger, get_tracer
 from ..tech import Technology
 from .latchup import check_latchup
 from .violations import Violation
+
+log = get_logger("drc")
 
 
 class _Components:
@@ -332,15 +335,32 @@ def check_shorts(obj: LayoutObject) -> List[Violation]:
     return violations
 
 
+#: The checks run_drc executes, in order: (rule class, check function).
+CHECKS = (
+    ("width", check_widths),
+    ("spacing", check_spacing),
+    ("enclosure", check_enclosures),
+    ("extension", check_extensions),
+    ("area", check_areas),
+    ("short", check_shorts),
+)
+
+
 def run_drc(obj: LayoutObject, include_latchup: bool = True) -> List[Violation]:
     """Run every check; returns the combined violation list."""
+    tracer = get_tracer()
     violations: List[Violation] = []
-    violations.extend(check_widths(obj))
-    violations.extend(check_spacing(obj))
-    violations.extend(check_enclosures(obj))
-    violations.extend(check_extensions(obj))
-    violations.extend(check_areas(obj))
-    violations.extend(check_shorts(obj))
-    if include_latchup:
-        violations.extend(check_latchup(obj))
+    with tracer.span("drc.run", obj=obj.name, rects=len(obj.nonempty_rects)):
+        checks = CHECKS + ((("latchup", check_latchup),) if include_latchup else ())
+        for rule_class, check in checks:
+            with tracer.span(f"drc.{rule_class}"):
+                found = check(obj)
+            tracer.count("drc.rules_checked")
+            tracer.count(f"drc.violations.{rule_class}", len(found))
+            violations.extend(found)
+    tracer.count("drc.violations.total", len(violations))
+    log.debug(
+        "DRC of %s: %d rects, %d violations", obj.name,
+        len(obj.nonempty_rects), len(violations),
+    )
     return violations

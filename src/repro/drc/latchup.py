@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..db import LayoutObject
-from ..geometry import Rect, subtract_many
+from ..geometry import Rect, overlap_classification, subtract_many
+from ..obs import get_tracer
 from ..tech import Technology
 from ..tech.layer import LayerKind
 from .violations import Violation
@@ -59,6 +60,22 @@ def uncovered_active_area(
         for rect in obj.rects_on(layer)
     ]
     temps = temporary_rectangles(obj, contact_layer)
+    tracer = get_tracer()
+    if tracer.enabled:
+        # Which of Fig. 1's 4×4 overlap cases the subtraction kernel hits:
+        # one (horizontal, vertical) classification per intersecting
+        # solid/temporary pair.  Observation only — the actual subtraction
+        # below re-derives the geometry.
+        tracer.count("drc.latchup.solids", len(solids))
+        tracer.count("drc.latchup.temps", len(temps))
+        for solid in solids:
+            for temp in temps:
+                if solid.intersects(temp):
+                    h_case, v_case = overlap_classification(solid, temp)
+                    tracer.count(f"drc.latchup.case_h{h_case}_v{v_case}")
+        remainders = subtract_many(solids, temps)
+        tracer.count("drc.latchup.remainders", len(remainders))
+        return remainders
     return subtract_many(solids, temps)
 
 

@@ -22,12 +22,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..compact import Compactor
 from ..db import LayoutObject
 from ..geometry import Direction
+from ..obs import get_logger, get_tracer
 from ..primitives import angle_adaptor, around, array, inbox, ring, tworects
 from ..route import via_stack, wire
 from ..tech import RuleError, Technology
 from . import ast_nodes as ast
 from .errors import EvalError
 from .parser import parse
+
+log = get_logger("lang")
 
 #: Statement-trace callback: (line number, entity frame object or None).
 TraceHook = Callable[[int, Optional[LayoutObject]], None]
@@ -76,8 +79,9 @@ class Interpreter:
     def run(self, source: str) -> Dict[str, Any]:
         """Load *source*, execute its top-level statements, return globals."""
         program = self.load(source)
-        for statement in program.statements:
-            self._exec(statement, self.globals)
+        with get_tracer().span("interp.run", statements=len(program.statements)):
+            for statement in program.statements:
+                self._exec(statement, self.globals)
         return self.globals.vars
 
     def call(self, entity_name: str, **kwargs: Any) -> LayoutObject:
@@ -135,20 +139,30 @@ class Interpreter:
 
     def _exec_alt(self, statement: ast.Alt, frame: Frame) -> None:
         """Backtracking: try branches until one satisfies all design rules."""
+        tracer = get_tracer()
         last_error: Optional[RuleError] = None
-        for branch in statement.branches:
-            snapshot = self._snapshot(frame)
-            try:
-                for inner in branch:
-                    self._exec(inner, frame)
-                return
-            except RuleError as error:
-                last_error = error
-                self._restore(frame, snapshot)
-        raise RuleError(
-            f"line {statement.line}: all ALT branches failed"
-            + (f" (last: {last_error})" if last_error else "")
-        )
+        with tracer.span("interp.alt", line=statement.line) as span:
+            for number, branch in enumerate(statement.branches):
+                tracer.count("interp.alt_attempts")
+                snapshot = self._snapshot(frame)
+                try:
+                    for inner in branch:
+                        self._exec(inner, frame)
+                    span.set(taken=number)
+                    return
+                except RuleError as error:
+                    last_error = error
+                    tracer.count("interp.alt_rollbacks")
+                    log.debug(
+                        "ALT line %d: branch %d rolled back (%s)",
+                        statement.line, number, error,
+                    )
+                    self._restore(frame, snapshot)
+            tracer.count("interp.alt_exhausted")
+            raise RuleError(
+                f"line {statement.line}: all ALT branches failed"
+                + (f" (last: {last_error})" if last_error else "")
+            )
 
     def _snapshot(self, frame: Frame) -> Tuple[Optional[LayoutObject], Dict[str, Any]]:
         obj_copy = frame.obj.copy() if frame.obj is not None else None
@@ -280,7 +294,14 @@ class Interpreter:
 
         builtin = _BUILTINS.get(expr.func)
         if builtin is not None:
-            return builtin(self, frame, args, dict(kwargs), expr.line)
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return builtin(self, frame, args, dict(kwargs), expr.line)
+            with tracer.span("interp.builtin", builtin=expr.func, line=expr.line):
+                result = builtin(self, frame, args, dict(kwargs), expr.line)
+            tracer.count("interp.builtin_calls")
+            tracer.count(f"interp.builtin.{expr.func}")
+            return result
 
         raise EvalError(f"unknown function or entity {expr.func!r}", expr.line)
 
@@ -323,10 +344,15 @@ class Interpreter:
         self._counters[entity.name] = index + 1
         inner = Frame(entity.name, LayoutObject(f"{entity.name}_{index}", self.tech))
         inner.vars.update(bound)
+        tracer = get_tracer()
+        tracer.count("interp.entity_calls")
         self._depth += 1
         try:
-            for statement in entity.body:
-                self._exec(statement, inner)
+            with tracer.span(
+                "interp.entity", entity=entity.name, line=line, depth=self._depth
+            ):
+                for statement in entity.body:
+                    self._exec(statement, inner)
         finally:
             self._depth -= 1
         return inner.obj  # type: ignore[return-value]

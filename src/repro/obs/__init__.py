@@ -1,0 +1,54 @@
+"""repro.obs — structured tracing, metrics and profiling for the pipeline.
+
+A zero-dependency observability layer instrumenting the four hot stages of
+the module generator environment: PLDL interpretation (entity calls, ALT
+backtracking, builtin primitives), successive compaction (per-object spans,
+constraints, relaxations, auto-connects), order optimization (tree nodes,
+branch-and-bound cuts, prefix-cache hits, trial ratings) and DRC (per-check
+spans, violations by class, latch-up subtraction cases).
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    stats = tracer.add_sink(obs.StatsSink())
+    tracer.add_sink(obs.ChromeTraceSink("trace.json"))
+    with obs.activate(tracer):
+        build_amplifier(tech)          # all stages record spans/counters
+    tracer.close()                     # writes trace.json (open in Perfetto)
+    print(stats.format_table())
+
+From the command line: ``repro --trace trace.json amplifier`` and
+``repro stats amplifier``.  See ``docs/observability.md`` for the API, the
+sink catalogue, the per-layer instrumentation map and the Perfetto how-to.
+"""
+
+from .logsetup import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    Sink,
+    SpanStats,
+    StatsSink,
+    validate_chrome_trace,
+)
+from .tracer import SpanRecord, Tracer, activate, get_tracer, set_tracer, traced
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "get_tracer",
+    "set_tracer",
+    "activate",
+    "traced",
+    "Sink",
+    "StatsSink",
+    "SpanStats",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "validate_chrome_trace",
+    "configure_logging",
+    "get_logger",
+    "ROOT_LOGGER_NAME",
+]

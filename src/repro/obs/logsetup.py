@@ -1,0 +1,91 @@
+"""The ``repro.*`` logger hierarchy and CLI logging configuration.
+
+Library modules log under ``repro.<subsystem>`` (``repro.compact``,
+``repro.lang``, ``repro.opt``, ``repro.drc``, ``repro.cli`` ...), obtained
+via :func:`get_logger`.  As a library, repro attaches no handlers — logging
+stays silent unless the embedding application configures it.  The CLI calls
+:func:`configure_logging` with the ``-v``/``-q`` verbosity so diagnostics
+("wrote row.gds") flow through logging instead of bare prints and can be
+silenced or widened uniformly.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler owned by configure_logging, so
+#: repeated calls (CLI main invoked many times in one process, e.g. tests)
+#: reconfigure instead of stacking duplicate handlers.
+_HANDLER_MARK = "_repro_cli_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro.*`` hierarchy.
+
+    ``get_logger("compact")`` and ``get_logger("repro.compact")`` both
+    return the ``repro.compact`` logger; the empty string returns the root
+    ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Wire the ``repro`` logger to a stream handler for CLI use.
+
+    *verbosity* maps to a level: negative → WARNING (``--quiet``), zero →
+    INFO (default: status diagnostics visible, as the CLI always printed),
+    positive → DEBUG (``--verbose``: per-stage internals).  DEBUG output is
+    prefixed with the logger name so subsystems are tellable apart; INFO
+    stays bare to match the historical print output.  Idempotent: calling
+    again replaces the previous configuration.
+    """
+    if verbosity > 0:
+        level = logging.DEBUG
+    elif verbosity < 0:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    root.propagate = False
+
+    target = stream if stream is not None else sys.stdout
+    handler: Optional[logging.Handler] = None
+    for existing in root.handlers:
+        if getattr(existing, _HANDLER_MARK, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(target)
+        setattr(handler, _HANDLER_MARK, True)
+        root.addHandler(handler)
+    elif isinstance(handler, logging.StreamHandler):
+        # Re-bind on every call: sys.stdout may have been replaced since the
+        # last configuration (pytest capture, redirected CLI invocations).
+        # Assign directly — setStream() would flush the old stream, which may
+        # already be closed.
+        handler.acquire()
+        try:
+            handler.stream = target
+        finally:
+            handler.release()
+
+    if level == logging.DEBUG:
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setLevel(level)
+    return root

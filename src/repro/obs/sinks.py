@@ -1,0 +1,366 @@
+"""Sinks: where the tracer's spans, counters and gauges end up.
+
+Three built-ins cover the paper pipeline's needs:
+
+* :class:`StatsSink` — in-memory aggregation (per-span call counts and
+  total/min/max durations, counter totals, last gauge values) with a
+  human-readable summary table — what ``repro stats`` prints;
+* :class:`JsonlSink` — one JSON object per record, append-streamed to a
+  file, for machine consumption of the raw event log;
+* :class:`ChromeTraceSink` — Chrome trace-event JSON (the ``traceEvents``
+  array format) loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` — what ``repro --trace out.json ...`` writes.
+
+A sink is any object with the four ``on_*`` callbacks plus ``close``;
+:class:`Sink` is the no-op base class custom sinks can subclass.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with .tracer
+    from .tracer import SpanRecord
+
+__all__ = [
+    "Sink",
+    "StatsSink",
+    "SpanStats",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "validate_chrome_trace",
+]
+
+
+class Sink:
+    """No-op base sink; subclass and override what you need."""
+
+    def on_span(self, record: "SpanRecord") -> None:
+        """A span finished."""
+
+    def on_count(self, name: str, n: int, ts_ns: int) -> None:
+        """Counter *name* was incremented by *n*."""
+
+    def on_gauge(self, name: str, value: float, ts_ns: int) -> None:
+        """Gauge *name* was set to *value*."""
+
+    def on_event(self, name: str, ts_ns: int, attrs: Dict[str, Any]) -> None:
+        """An instant event occurred."""
+
+    def close(self) -> None:
+        """Flush buffers / write files; must be idempotent."""
+
+
+# ---------------------------------------------------------------------------
+class SpanStats:
+    """Aggregate of every finished span sharing one name."""
+
+    __slots__ = ("calls", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns = 0
+
+    def add(self, duration_ns: int) -> None:
+        self.calls += 1
+        self.total_ns += duration_ns
+        self.max_ns = max(self.max_ns, duration_ns)
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.calls if self.calls else 0.0
+
+
+class StatsSink(Sink):
+    """In-memory aggregation: the data behind ``repro stats``."""
+
+    def __init__(self) -> None:
+        self.spans: Dict[str, SpanStats] = {}
+        self.counters: Dict[str, int] = {}
+        #: How many ``count()`` calls fed each counter (vs the summed value)
+        #: — the overhead bench uses this as the instrumentation hit count.
+        self.counter_calls: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.events: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_span(self, record: "SpanRecord") -> None:
+        stats = self.spans.get(record.name)
+        if stats is None:
+            stats = self.spans[record.name] = SpanStats()
+        stats.add(record.duration_ns)
+
+    def on_count(self, name: str, n: int, ts_ns: int) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        self.counter_calls[name] = self.counter_calls.get(name, 0) + 1
+
+    def on_gauge(self, name: str, value: float, ts_ns: int) -> None:
+        self.gauges[name] = value
+
+    def on_event(self, name: str, ts_ns: int, attrs: Dict[str, Any]) -> None:
+        self.events[name] = self.events.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    def total_s(self, span_name: str) -> float:
+        """Total seconds spent in spans named *span_name* (0.0 if none)."""
+        stats = self.spans.get(span_name)
+        return stats.total_ns / 1e9 if stats else 0.0
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def format_table(self) -> str:
+        """The aligned summary table ``repro stats`` prints."""
+        lines: List[str] = []
+        if self.spans:
+            name_w = max(len(name) for name in self.spans)
+            name_w = max(name_w, len("span"))
+            lines.append(
+                f"{'span':<{name_w}} {'calls':>8} {'total ms':>10}"
+                f" {'mean ms':>10} {'max ms':>10}"
+            )
+            for name in sorted(self.spans):
+                stats = self.spans[name]
+                lines.append(
+                    f"{name:<{name_w}} {stats.calls:>8}"
+                    f" {stats.total_ns / 1e6:>10.3f}"
+                    f" {stats.mean_ns / 1e6:>10.4f}"
+                    f" {stats.max_ns / 1e6:>10.3f}"
+                )
+        if self.counters:
+            if lines:
+                lines.append("")
+            name_w = max(len(name) for name in self.counters)
+            name_w = max(name_w, len("counter"))
+            lines.append(f"{'counter':<{name_w}} {'value':>12}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<{name_w}} {self.counters[name]:>12}")
+        if self.gauges:
+            if lines:
+                lines.append("")
+            name_w = max(len(name) for name in self.gauges)
+            name_w = max(name_w, len("gauge"))
+            lines.append(f"{'gauge':<{name_w}} {'value':>12}")
+            for name in sorted(self.gauges):
+                lines.append(f"{name:<{name_w}} {self.gauges[name]:>12g}")
+        if not lines:
+            return "(no spans, counters or gauges recorded)"
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+class JsonlSink(Sink):
+    """Raw event log: one JSON object per line.
+
+    Record shapes: ``{"type": "span", "name", "ts_ns", "dur_ns", "depth",
+    "attrs"}``, ``{"type": "count", "name", "n", "ts_ns"}``, ``{"type":
+    "gauge", ...}``, ``{"type": "event", ...}``.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        line = json.dumps(record, default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def on_span(self, record: "SpanRecord") -> None:
+        self._write(
+            {
+                "type": "span",
+                "name": record.name,
+                "ts_ns": record.start_ns,
+                "dur_ns": record.duration_ns,
+                "depth": record.depth,
+                "attrs": record.attrs,
+            }
+        )
+
+    def on_count(self, name: str, n: int, ts_ns: int) -> None:
+        self._write({"type": "count", "name": name, "n": n, "ts_ns": ts_ns})
+
+    def on_gauge(self, name: str, value: float, ts_ns: int) -> None:
+        self._write({"type": "gauge", "name": name, "value": value, "ts_ns": ts_ns})
+
+    def on_event(self, name: str, ts_ns: int, attrs: Dict[str, Any]) -> None:
+        self._write({"type": "event", "name": name, "ts_ns": ts_ns, "attrs": attrs})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+# ---------------------------------------------------------------------------
+class ChromeTraceSink(Sink):
+    """Chrome trace-event JSON, viewable in Perfetto.
+
+    Spans become complete (``"ph": "X"``) events with microsecond ``ts`` /
+    ``dur``; counters become cumulative counter (``"ph": "C"``) tracks;
+    instants become ``"ph": "i"`` events.  The span name's dotted prefix
+    (``compact`` in ``compact.step``) is used as the event category so
+    Perfetto can filter per pipeline stage.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: List[Dict[str, Any]] = []
+        self._pid = os.getpid()
+        self._tid = threading.get_ident()
+        self._counter_totals: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @staticmethod
+    def _category(name: str) -> str:
+        return name.split(".", 1)[0]
+
+    def on_span(self, record: "SpanRecord") -> None:
+        event = {
+            "name": record.name,
+            "cat": self._category(record.name),
+            "ph": "X",
+            "ts": record.start_ns / 1000.0,
+            "dur": record.duration_ns / 1000.0,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+        }
+        if record.attrs:
+            event["args"] = {key: str(value) for key, value in record.attrs.items()}
+        with self._lock:
+            self.events.append(event)
+
+    def on_count(self, name: str, n: int, ts_ns: int) -> None:
+        with self._lock:
+            total = self._counter_totals.get(name, 0) + n
+            self._counter_totals[name] = total
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": self._category(name),
+                    "ph": "C",
+                    "ts": ts_ns / 1000.0,
+                    "pid": self._pid,
+                    "tid": self._tid,
+                    "args": {"value": total},
+                }
+            )
+
+    def on_gauge(self, name: str, value: float, ts_ns: int) -> None:
+        with self._lock:
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": self._category(name),
+                    "ph": "C",
+                    "ts": ts_ns / 1000.0,
+                    "pid": self._pid,
+                    "tid": self._tid,
+                    "args": {"value": value},
+                }
+            )
+
+    def on_event(self, name: str, ts_ns: int, attrs: Dict[str, Any]) -> None:
+        event = {
+            "name": name,
+            "cat": self._category(name),
+            "ph": "i",
+            "ts": ts_ns / 1000.0,
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "s": "t",
+        }
+        if attrs:
+            event["args"] = {key: str(value) for key, value in attrs.items()}
+        with self._lock:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The trace as the Chrome trace-event object format."""
+        with self._lock:
+            events = sorted(self.events, key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Serialize the trace to *path* (default: the constructor path)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("ChromeTraceSink has no output path")
+        target.write_text(
+            json.dumps(self.to_json(), indent=None, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.path is not None:
+            self.write()
+
+
+# ---------------------------------------------------------------------------
+_VALID_PHASES = {"X", "B", "E", "C", "i", "I", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Structural validation against the Chrome trace-event format.
+
+    Accepts the object format (``{"traceEvents": [...]}``) or the bare
+    array format.  Returns a list of problems; an empty list means the
+    trace is loadable by Perfetto / ``chrome://tracing``.
+    """
+    problems: List[str] = []
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' list"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return [f"trace must be an object or array, got {type(data).__name__}"]
+
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: invalid phase {phase!r}")
+        if not isinstance(event.get("name"), str) and phase != "M":
+            problems.append(f"{where}: missing string 'name'")
+        if not isinstance(event.get("ts"), (int, float)) and phase != "M":
+            problems.append(f"{where}: missing numeric 'ts'")
+        if "pid" not in event:
+            problems.append(f"{where}: missing 'pid'")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs a non-negative 'dur'")
+    return problems

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compact import Compactor
 from ..db import LayoutObject
+from ..obs import get_tracer
 from ..tech import Technology
 
 Prefix = Tuple[int, ...]
@@ -64,7 +65,9 @@ class PrefixTree:
         """
         prefix = tuple(prefix)
         cached = self._cache.get(prefix)
+        tracer = get_tracer()
         if cached is not None:
+            tracer.count("opt.tree.cache_hits")
             return cached
         if not prefix:
             state = LayoutObject(self.name, self.tech)
@@ -73,10 +76,13 @@ class PrefixTree:
             if not 0 <= index < len(self.steps):
                 raise IndexError(f"step index {index} out of range")
             parent = self.layout(prefix[:-1])
-            state = parent.snapshot()
+            with tracer.span("opt.tree.snapshot", depth=len(prefix)):
+                state = parent.snapshot()
+            tracer.count("opt.tree.snapshots")
             step = self.steps[index].fresh()
             self.compactor.compact(state, step.obj, step.direction, step.ignore)
             self.compact_calls += 1
+            tracer.count("opt.tree.compacts")
         self._cache[prefix] = state
         return state
 
@@ -98,6 +104,7 @@ class PrefixTree:
         child = prefix + (index,)
         cached = self._cache.get(child)
         if cached is not None:
+            get_tracer().count("opt.tree.cache_hits")
             return cached
         parent = self._cache.pop(prefix, None)
         if parent is None:
@@ -108,6 +115,7 @@ class PrefixTree:
         step = self.steps[index].fresh()
         self.compactor.compact(parent, step.obj, step.direction, step.ignore)
         self.compact_calls += 1
+        get_tracer().count("opt.tree.compacts")
         self._cache[child] = parent
         return parent
 
@@ -129,6 +137,7 @@ class PrefixTree:
         ]
         for key in doomed:
             del self._cache[key]
+        get_tracer().count("opt.tree.evictions", len(doomed))
         return len(doomed)
 
     def prune_depth(self, max_depth: int) -> int:

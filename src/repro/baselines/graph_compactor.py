@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compact.separation import pair_travel, required_spacing
 from ..db import LayoutObject
-from ..geometry import Direction, Rect
+from ..geometry import Direction, Rect, bounding_box
+from ..obs import get_tracer
 from ..tech import Technology
 
 
@@ -89,7 +90,28 @@ class GraphCompactor:
                         edges += 1
                         if best_travel is None or travel < best_travel:
                             best_travel = travel
-            offsets[j] = best_travel if best_travel is not None else 0
+            if best_travel is None:
+                # No edge constrains the object: abut its bounding box flush
+                # with the already-placed group, matching the successive
+                # compactor's fallback (otherwise an unconstrained object
+                # stays at its spread position and the packings diverge).
+                placed: List[Rect] = []
+                for i in range(j):
+                    for rect in objects[i].nonempty_rects:
+                        placed.append(rect.translated(
+                            direction.dx * offsets[i],
+                            direction.dy * offsets[i],
+                        ))
+                group = bounding_box(placed)
+                obj_box = bounding_box(objects[j].nonempty_rects)
+                if group is None or obj_box is None:
+                    best_travel = 0
+                else:
+                    sign = 1 if direction.is_positive else -1
+                    lead = obj_box.edge_coord(direction)
+                    face = group.edge_coord(direction.opposite)
+                    best_travel = (face - lead) * sign
+            offsets[j] = best_travel
 
         result = LayoutObject("graph_compacted", self.tech)
         for obj, travel in zip(objects, offsets):
@@ -97,4 +119,8 @@ class GraphCompactor:
             moved.translate(direction.dx * travel, direction.dy * travel)
             result.merge(moved)
         self.last_stats = GraphStats(len(objects), edges, pair_checks)
+        tracer = get_tracer()
+        tracer.count("baseline.graph.solves")
+        tracer.count("baseline.graph.pair_checks", pair_checks)
+        tracer.count("baseline.graph.edges", edges)
         return result

@@ -13,6 +13,7 @@ render          render a layout file to SVG
 session         record the two-window design session as HTML
 amplifier       build the Sec. 3 BiCMOS amplifier example
 stats           run any command under the tracer, print a profiling summary
+verify          golden-cell hashes, PLDL fuzzing, differential compaction
 ==============  ==============================================================
 
 ``--trace out.json`` (before the command) records a Chrome trace-event
@@ -206,6 +207,92 @@ def cmd_rc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import (
+        fuzz,
+        load_golden,
+        run_differential,
+        update_golden,
+        verify_golden,
+    )
+
+    tech_names = [args.tech] if args.tech else None
+    run_all = args.all or not (
+        args.golden or args.fuzz or args.differential or args.update_golden
+    )
+    report_dir = Path(args.report) if args.report else None
+    failures = 0
+
+    if args.update_golden:
+        fingerprints = update_golden(tech_names=tech_names)
+        cells = sum(len(v) for v in fingerprints.values())
+        print(f"recorded {cells} golden hashes across"
+              f" {len(fingerprints)} technologies")
+
+    if run_all or args.golden:
+        mismatches = verify_golden(tech_names=tech_names)
+        checked = sum(len(cells) for cells in load_golden().values())
+        if mismatches:
+            failures += len(mismatches)
+            for mismatch in mismatches:
+                print(f"golden FAIL: {mismatch}")
+        else:
+            print(f"golden: all cell fingerprints match ({checked} recorded)")
+
+    fuzz_tech = _resolve_tech(args.tech or "generic_bicmos_1u")
+
+    fuzz_cases = args.fuzz if args.fuzz else (200 if run_all else 0)
+    if fuzz_cases:
+        results = fuzz(fuzz_cases, args.seed, fuzz_tech)
+        failed = [r for r in results if r.failed]
+        graceful = sum(1 for r in results if r.status == "graceful")
+        print(f"fuzz: {len(results)} cases, {len(failed)} failing"
+              f" ({graceful} gracefully rejected)")
+        for result in failed:
+            failures += 1
+            print(f"fuzz FAIL case {result.case} (seed {result.seed}):"
+                  f" {result.status}: {result.detail}")
+            if report_dir is not None:
+                report_dir.mkdir(parents=True, exist_ok=True)
+                out = report_dir / f"fuzz_case_{result.case}.pldl"
+                out.write_text(result.source, encoding="utf-8")
+                log.info("wrote failing program %s", out)
+
+    diff_trials = args.differential if args.differential else (50 if run_all else 0)
+    if diff_trials:
+        reports = run_differential(fuzz_tech, trials=diff_trials, seed=args.seed)
+        bad = [r for r in reports if not r.ok]
+        print(f"differential: {len(reports)} trials, {len(bad)} failing")
+        for report in bad:
+            failures += 1
+            print(f"differential FAIL trial {report.trial}"
+                  f" (seed {report.seed}, {report.direction},"
+                  f" {report.objects} objects):")
+            for problem in report.problems:
+                print(f"  {problem}")
+            if report_dir is not None:
+                from .verify.differential import random_object_set
+
+                report_dir.mkdir(parents=True, exist_ok=True)
+                import random as _random
+
+                from .geometry import Direction
+
+                rng = _random.Random(report.seed)
+                direction = rng.choice(list(Direction))
+                count = rng.randint(2, 4)
+                objects = random_object_set(fuzz_tech, rng, count, direction)
+                out = report_dir / f"diff_trial_{report.trial}.gds"
+                write_gds(objects, out)
+                log.info("wrote failing object set %s", out)
+
+    if failures:
+        print(f"verify: {failures} failure(s)")
+        return 1
+    print("verify: OK")
+    return 0
+
+
 def cmd_amplifier(args: argparse.Namespace) -> int:
     from .amplifier import build_amplifier, measure_amplifier
 
@@ -341,6 +428,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the interpreter/optimizer pipeline exercise",
     )
     amplifier.set_defaults(func=cmd_amplifier)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the verification harness (golden cells, fuzzer,"
+             " differential compaction)",
+    )
+    verify.add_argument(
+        "--all", action="store_true",
+        help="golden regression plus fuzz and differential smoke runs"
+             " (the default when no other selection is given)",
+    )
+    verify.add_argument(
+        "--golden", action="store_true",
+        help="check library-cell CIF/GDS hashes against golden_hashes.json",
+    )
+    verify.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate golden_hashes.json from current output",
+    )
+    verify.add_argument(
+        "--fuzz", type=int, metavar="N", default=0,
+        help="run N seeded PLDL fuzz cases (interpreter vs translated)",
+    )
+    verify.add_argument(
+        "--differential", type=int, metavar="N", default=0,
+        help="run N seeded differential compaction trials",
+    )
+    verify.add_argument("--seed", type=int, default=0,
+                        help="base seed for fuzz and differential runs")
+    verify.add_argument(
+        "--tech", default=None,
+        help="restrict to one technology (default: all builtins for golden,"
+             " generic_bicmos_1u for fuzz/differential)",
+    )
+    verify.add_argument(
+        "--report", metavar="DIR",
+        help="write failing fuzz programs and object sets to DIR",
+    )
+    verify.set_defaults(func=cmd_verify)
 
     stats = sub.add_parser(
         "stats",

@@ -5,6 +5,7 @@ from .separation import (
     PairConstraint,
     frontier_filter,
     gather_constraints,
+    overlap_forbidden,
     pair_travel,
     required_spacing,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "PairConstraint",
     "frontier_filter",
     "gather_constraints",
+    "overlap_forbidden",
     "pair_travel",
     "required_spacing",
 ]

@@ -78,6 +78,35 @@ def required_spacing(
     return UNCONSTRAINED
 
 
+def overlap_forbidden(
+    tech: Technology,
+    a: Rect,
+    b: Rect,
+    ignore_layers: FrozenSet[str] = frozenset(),
+) -> bool:
+    """True when the pair may touch but must never overlap.
+
+    The *no_overlap* special case of :func:`required_spacing`, exposed for
+    post-hoc auditing (``repro.verify``): a parasitic-protection rectangle
+    on a conducting layer forbids overlap with any other conducting rect
+    unless an explicit SPACE rule governs the pair or the rects are
+    same-net connectable.
+    """
+    if a.layer in ignore_layers or b.layer in ignore_layers:
+        return False
+    if a.is_empty or b.is_empty:
+        return False
+    if not (a.no_overlap or b.no_overlap):
+        return False
+    if not (tech.layer(a.layer).conducting and tech.layer(b.layer).conducting):
+        return False
+    if a.net is not None and a.net == b.net and tech.connectable(a.layer, b.layer):
+        return False
+    if tech.min_space(a.layer, b.layer) is not None:
+        return False
+    return True
+
+
 def pair_travel(moving: Rect, fixed: Rect, direction: Direction, spacing: int) -> Optional[int]:
     """Max travel of *moving* along *direction* keeping *spacing* to *fixed*.
 

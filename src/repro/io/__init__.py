@@ -1,7 +1,7 @@
 """Layout IO: GDSII stream, CIF, SVG rendering, text dumps."""
 
 from .cif import dumps_cif, loads_cif, read_cif, write_cif
-from .gds import read_gds, write_gds
+from .gds import dumps_gds, read_gds, write_gds
 from .svg import render_legend, render_svg, write_svg
 from .textdump import dump_object, dumps_object, load_object, loads_object
 
@@ -10,6 +10,7 @@ __all__ = [
     "loads_cif",
     "read_cif",
     "write_cif",
+    "dumps_gds",
     "read_gds",
     "write_gds",
     "render_legend",

@@ -76,12 +76,15 @@ def _decode_real(data: bytes) -> float:
     return sign * mantissa * (16.0 ** exponent)
 
 
-def write_gds(
+def dumps_gds(
     objects: Union[LayoutObject, Sequence[LayoutObject]],
-    path: Union[str, Path],
     library: str = "REPRO",
-) -> None:
-    """Write one or more layout objects to a GDSII file."""
+) -> bytes:
+    """Serialise one or more layout objects to GDSII bytes.
+
+    Timestamps are fixed, so equal layouts produce byte-identical streams —
+    the golden-cell regression hashes this output directly.
+    """
     if isinstance(objects, LayoutObject):
         objects = [objects]
     if not objects:
@@ -123,7 +126,16 @@ def write_gds(
             out += _record(_ENDEL)
         out += _record(_ENDSTR)
     out += _record(_ENDLIB)
-    Path(path).write_bytes(bytes(out))
+    return bytes(out)
+
+
+def write_gds(
+    objects: Union[LayoutObject, Sequence[LayoutObject]],
+    path: Union[str, Path],
+    library: str = "REPRO",
+) -> None:
+    """Write one or more layout objects to a GDSII file."""
+    Path(path).write_bytes(dumps_gds(objects, library))
 
 
 def read_gds(

@@ -209,11 +209,25 @@ class Runtime:
     # ------------------------------------------------------------------
     # control support
     # ------------------------------------------------------------------
-    def alt(self, obj: LayoutObject, branches: Sequence[Callable[[], None]]) -> None:
-        """Translated ALT: try branches with rollback on rule failure."""
+    def alt(
+        self,
+        obj: LayoutObject,
+        branches: Sequence[Callable[[], None]],
+        save: Optional[Callable[[], dict]] = None,
+        restore: Optional[Callable[[dict], None]] = None,
+    ) -> None:
+        """Translated ALT: try branches with rollback on rule failure.
+
+        The interpreter rolls back the whole variable frame when a branch
+        fails, not just the entity structure; translated code passes
+        ``save``/``restore`` closures over the names its branches touch so
+        both execution paths agree.  Older generated modules omit them and
+        keep the structure-only rollback.
+        """
         last: Optional[RuleError] = None
         for branch in branches:
             snapshot = obj.copy()
+            state = save() if save is not None else None
             try:
                 branch()
                 return
@@ -222,7 +236,17 @@ class Runtime:
                 obj.rects = snapshot.rects
                 obj.links = snapshot.links
                 obj.labels = snapshot.labels
+                if restore is not None:
+                    restore(state or {})
         raise RuleError(f"all ALT branches failed (last: {last})")
+
+    @staticmethod
+    def alt_state(values: dict) -> dict:
+        """Copy an ALT variable snapshot, cloning mutable layout objects."""
+        return {
+            name: value.copy() if isinstance(value, LayoutObject) else value
+            for name, value in values.items()
+        }
 
     @staticmethod
     def MOD(a: float, b: float) -> float:

@@ -59,12 +59,17 @@ class _Translator:
     def __init__(self, entity_names: Set[str]) -> None:
         self.entity_names = entity_names
         self._alt_counter = 0
+        #: Names bound somewhere in the current entity (params + assigns);
+        #: ``nonlocal`` in an ALT save/restore closure is only legal for these.
+        self._scope: Set[str] = set()
 
     # ------------------------------------------------------------------
     def entity(self, entity: ast.Entity) -> List[str]:
         params = ["rt"]
         for param in entity.params:
             params.append(f"{param.name}=None" if param.optional else param.name)
+        self._scope = {param.name for param in entity.params}
+        self._scope |= self._bound_names(entity.body)
         lines = [f"def {entity.name}({', '.join(params)}):"]
         lines.append(f'{_INDENT}"""Generated from entity {entity.name}."""')
         lines.append(f'{_INDENT}obj = rt.begin("{entity.name}")')
@@ -120,9 +125,14 @@ class _Translator:
 
         assigned = sorted(self._assigned_names(statement))
         lines: List[str] = []
-        # Pre-bind names assigned inside branches so nonlocal is legal.
+        # Pre-bind names assigned inside branches so nonlocal is legal —
+        # guarded, so a binding made before the ALT survives (the interpreter
+        # keeps it; an unconditional ``name = None`` would clobber it).
         for name in assigned:
-            lines.append(f"{pad}{name} = None")
+            lines.append(f"{pad}try:")
+            lines.append(f"{pad}{_INDENT}{name}")
+            lines.append(f"{pad}except NameError:")
+            lines.append(f"{pad}{_INDENT}{name} = None")
 
         branch_names: List[str] = []
         for index, branch in enumerate(statement.branches):
@@ -133,7 +143,35 @@ class _Translator:
                 lines.append(f"{pad}{_INDENT}nonlocal {', '.join(assigned)}")
             body = self.block(branch, depth + 1, obj_var)
             lines.extend(body if body else [f"{pad}{_INDENT}pass"])
-        lines.append(f"{pad}rt.alt({obj_var}, [{', '.join(branch_names)}])")
+
+        # The interpreter snapshots the whole variable frame before trying a
+        # branch and restores it on rollback; translated code must do the
+        # same or a failed branch leaks its assignments and object mutations
+        # into the next branch.  Snapshot every name a branch touches that
+        # exists in the entity's scope (nonlocal is only legal for those).
+        snapshot = sorted(
+            (set(assigned) | self._branch_names(statement)) & self._scope
+        )
+        save, restore = f"_alt{tag}_save", f"_alt{tag}_restore"
+        lines.append(f"{pad}def {save}():")
+        lines.append(f"{pad}{_INDENT}_state = {{}}")
+        for name in snapshot:
+            lines.append(f"{pad}{_INDENT}try:")
+            lines.append(f"{pad}{_INDENT * 2}_state[{name!r}] = {name}")
+            lines.append(f"{pad}{_INDENT}except NameError:")
+            lines.append(f"{pad}{_INDENT * 2}pass")
+        lines.append(f"{pad}{_INDENT}return rt.alt_state(_state)")
+        lines.append(f"{pad}def {restore}(_state):")
+        if snapshot:
+            lines.append(f"{pad}{_INDENT}nonlocal {', '.join(snapshot)}")
+        for name in snapshot:
+            lines.append(f"{pad}{_INDENT}{name} = _state.get({name!r})")
+        if not snapshot:
+            lines.append(f"{pad}{_INDENT}pass")
+        lines.append(
+            f"{pad}rt.alt({obj_var}, [{', '.join(branch_names)}],"
+            f" save={save}, restore={restore})"
+        )
         return lines
 
     def _assigned_names(self, statement: ast.Alt) -> Set[str]:
@@ -148,6 +186,75 @@ class _Translator:
                     visit(stmt.else_body)
                 elif isinstance(stmt, ast.For):
                     names.add(stmt.var)
+                    visit(stmt.body)
+                elif isinstance(stmt, ast.Alt):
+                    for branch in stmt.branches:
+                        visit(branch)
+
+        for branch in statement.branches:
+            visit(branch)
+        return names
+
+    @staticmethod
+    def _bound_names(statements: List[ast.Statement]) -> Set[str]:
+        """Every name assigned anywhere in a statement list (recursively)."""
+        names: Set[str] = set()
+
+        def visit(stmts: List[ast.Statement]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    names.add(stmt.target)
+                elif isinstance(stmt, ast.If):
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, ast.For):
+                    names.add(stmt.var)
+                    visit(stmt.body)
+                elif isinstance(stmt, ast.Alt):
+                    for branch in stmt.branches:
+                        visit(branch)
+
+        visit(statements)
+        return names
+
+    def _branch_names(self, statement: ast.Alt) -> Set[str]:
+        """Every variable an ALT branch reads or writes (for the snapshot)."""
+        names: Set[str] = set()
+
+        def visit_expr(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.Name):
+                if expr.ident not in _DIRECTIONS:
+                    names.add(expr.ident)
+            elif isinstance(expr, ast.Attribute):
+                visit_expr(expr.value)
+            elif isinstance(expr, ast.Unary):
+                visit_expr(expr.operand)
+            elif isinstance(expr, ast.Binary):
+                visit_expr(expr.left)
+                visit_expr(expr.right)
+            elif isinstance(expr, ast.Call):
+                for arg in expr.args:
+                    visit_expr(arg)
+                for _, value in expr.kwargs:
+                    visit_expr(value)
+
+        def visit(stmts: List[ast.Statement]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign):
+                    names.add(stmt.target)
+                    visit_expr(stmt.value)
+                elif isinstance(stmt, ast.ExprStatement):
+                    visit_expr(stmt.value)
+                elif isinstance(stmt, ast.If):
+                    visit_expr(stmt.condition)
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, ast.For):
+                    names.add(stmt.var)
+                    visit_expr(stmt.start)
+                    visit_expr(stmt.stop)
+                    if stmt.step is not None:
+                        visit_expr(stmt.step)
                     visit(stmt.body)
                 elif isinstance(stmt, ast.Alt):
                     for branch in stmt.branches:

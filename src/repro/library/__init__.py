@@ -27,7 +27,79 @@ from .interdigitated import (
 from .passives import capacitor_value, mos_capacitor, poly_resistor, resistor_value
 from .transistor import diode_transistor, mos_transistor, stacked_transistor
 
+
+class CellSpec:
+    """One golden-regression cell: a deterministic builder plus its needs.
+
+    ``requires`` names the technology layers the builder depends on; a
+    technology lacking any of them skips the cell (e.g. bipolar modules on
+    a plain CMOS process).
+    """
+
+    __slots__ = ("name", "build", "requires")
+
+    def __init__(self, name, build, requires=()):
+        self.name = name
+        self.build = build
+        self.requires = tuple(requires)
+
+    def supported(self, tech) -> bool:
+        """True when *tech* provides every layer the cell needs."""
+        return all(tech.has_layer(layer) for layer in self.requires)
+
+
+def _guarded_transistor(tech):
+    device = mos_transistor(tech, w=6.0, length=1.0, name="GuardedMOS")
+    substrate_ring(device)
+    return device
+
+
+#: Every library cell the golden-cell regression fingerprints, with fixed
+#: parameters so CIF/GDS output is reproducible across sessions.
+GOLDEN_CELLS = tuple(
+    CellSpec(name, build, requires)
+    for name, build, requires in (
+        ("contact_row_poly",
+         lambda tech: contact_row(tech, "poly", w=2.0, length=12.0, net="g"), ()),
+        ("contact_row_pdiff",
+         lambda tech: contact_row(tech, "pdiff", w=6.0, net="s"), ()),
+        ("mos_transistor",
+         lambda tech: mos_transistor(tech, w=8.0, length=1.0), ()),
+        ("diode_transistor",
+         lambda tech: diode_transistor(tech, w=6.0, length=1.0), ()),
+        ("stacked_transistor",
+         lambda tech: stacked_transistor(tech, w=6.0, length=1.0, gates=3), ()),
+        ("diff_pair",
+         lambda tech: diff_pair(tech, w=10.0, length=1.0), ()),
+        ("simple_current_mirror",
+         lambda tech: simple_current_mirror(tech, w=8.0, length=2.0), ()),
+        ("symmetric_current_mirror",
+         lambda tech: symmetric_current_mirror(tech, w=8.0, length=2.0), ()),
+        ("cascode_pair",
+         lambda tech: cascode_pair(tech, w=8.0, length=1.0), ()),
+        ("cross_coupled_pair",
+         lambda tech: cross_coupled_pair(tech, w=8.0, length=1.0), ()),
+        ("interdigitated_transistor",
+         lambda tech: interdigitated_transistor(tech, w=12.0, length=1.0, fingers=4),
+         ()),
+        ("centroid_cross_coupled_pair",
+         lambda tech: centroid_cross_coupled_pair(tech, w=10.0, length=1.0), ()),
+        ("poly_resistor",
+         lambda tech: poly_resistor(tech), ()),
+        ("mos_capacitor",
+         lambda tech: mos_capacitor(tech, width=16.0, length=16.0), ()),
+        ("guarded_transistor", _guarded_transistor, ()),
+        ("npn_transistor",
+         lambda tech: npn_transistor(tech), ("emitter", "base", "buried")),
+        ("symmetric_npn_pair",
+         lambda tech: symmetric_npn_pair(tech), ("emitter", "base", "buried")),
+    )
+)
+
+
 __all__ = [
+    "CellSpec",
+    "GOLDEN_CELLS",
     "npn_transistor",
     "symmetric_npn_pair",
     "HALF_PATTERN",

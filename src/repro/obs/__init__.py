@@ -5,7 +5,13 @@ the module generator environment: PLDL interpretation (entity calls, ALT
 backtracking, builtin primitives), successive compaction (per-object spans,
 constraints, relaxations, auto-connects), order optimization (tree nodes,
 branch-and-bound cuts, prefix-cache hits, trial ratings) and DRC (per-check
-spans, violations by class, latch-up subtraction cases).
+spans, violations by class, latch-up subtraction cases).  The verification
+subsystem (``repro.verify``) reports through the same tracer: oracle runs
+(``verify.oracle.checks`` / ``verify.oracle.violations.*``), differential
+trials (``verify.differential.trials`` / ``.failures``), fuzz outcomes
+(``verify.fuzz.ok`` / ``.graceful`` / ``.diverged`` / ``.crash``) and
+golden-cell fingerprints (``verify.golden.cells`` / ``.skipped``), plus
+``baseline.graph.*`` counters from the constraint-graph compactor.
 
 Quick start::
 

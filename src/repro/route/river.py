@@ -65,16 +65,27 @@ def river_route(
             f"river routing channel too small: gap {gap} dbu, need {needed} dbu"
         )
 
+    # Stagger tracks so neighbouring jogs keep rule spacing.  Left-going
+    # jogs take low tracks in pin order, right-going jogs take the tracks
+    # above them in *reverse* pin order — the classic river discipline.  A
+    # right-going wire's source-side vertical then only ever climbs past
+    # tracks of later (lower-jogging) wires, whose jogs start further
+    # right, so no vertical segment can cross a foreign jog.
+    lefts = [i for i in range(len(sources)) if targets[i][0] < sources[i][0]]
+    rights = [i for i in range(len(sources)) if targets[i][0] > sources[i][0]]
+    slot: dict = {}
+    for position, index in enumerate(lefts):
+        slot[index] = position
+    for position, index in enumerate(reversed(rights)):
+        slot[index] = len(lefts) + position
+
     routes: List[List[Rect]] = []
     for index, ((sx, sy), (tx, ty)) in enumerate(zip(sources, targets)):
-        # Stagger tracks so neighbouring jogs keep rule spacing.  Left-going
-        # jogs take low tracks first, right-going jogs high tracks first, the
-        # classic river discipline that keeps the routing planar.
-        track = y_lo + pitch * (index + 1) - spacing // 2
-        if not upward:
-            track = y_hi - (track - y_lo)
         points: List[Coordinate] = [(sx, sy)]
         if sx != tx:
+            track = y_lo + pitch * (slot[index] + 1) - spacing // 2
+            if not upward:
+                track = y_hi - (track - y_lo)
             points.append((sx, track))
             points.append((tx, track))
         points.append((tx, ty))

@@ -1,0 +1,58 @@
+"""Layout verification harness (``repro verify``).
+
+Four layers of defence for the environment's correctness-by-construction
+promise (see ``docs/verification.md``):
+
+* :mod:`~repro.verify.oracles` — post-build invariant checks;
+* :mod:`~repro.verify.differential` — successive vs. graph compaction;
+* :mod:`~repro.verify.fuzzer` — random PLDL programs through both the
+  interpreter and the translate-to-Python pipeline;
+* :mod:`~repro.verify.golden` — content-hash regression over every
+  library cell × builtin technology.
+"""
+
+from .differential import TrialReport, random_object_set, run_differential, run_trial
+from .fuzzer import FuzzResult, fuzz, generate_program, run_fuzz_case
+from .golden import (
+    GOLDEN_PATH,
+    GoldenMismatch,
+    cell_fingerprint,
+    compute_fingerprints,
+    load_golden,
+    update_golden,
+    verify_golden,
+)
+from .oracles import (
+    LayoutSnapshot,
+    OracleViolation,
+    check_layout,
+    oracle_bbox_bounded,
+    oracle_connectivity,
+    oracle_drc_clean,
+    oracle_no_overlap,
+)
+
+__all__ = [
+    "TrialReport",
+    "random_object_set",
+    "run_differential",
+    "run_trial",
+    "FuzzResult",
+    "fuzz",
+    "generate_program",
+    "run_fuzz_case",
+    "GOLDEN_PATH",
+    "GoldenMismatch",
+    "cell_fingerprint",
+    "compute_fingerprints",
+    "load_golden",
+    "update_golden",
+    "verify_golden",
+    "LayoutSnapshot",
+    "OracleViolation",
+    "check_layout",
+    "oracle_bbox_bounded",
+    "oracle_connectivity",
+    "oracle_drc_clean",
+    "oracle_no_overlap",
+]

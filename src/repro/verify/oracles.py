@@ -1,0 +1,205 @@
+"""Invariant oracles: post-hoc checks of what compaction must preserve.
+
+The environment claims correctness *by construction* — primitives respect
+design rules, the compactor keeps required separations, same-potential
+edges merge.  These oracles re-verify those claims on finished layouts so
+randomised harnesses (``repro.verify.differential``, the fuzzer) and future
+performance work can be validated against independent checks rather than
+golden files:
+
+* **DRC-clean** — the full checker finds nothing;
+* **connectivity** — every net that was electrically connected before
+  compaction is still connected afterwards;
+* **no-overlap** — parasitic-protection rectangles are overlapped by no
+  conducting geometry;
+* **bounded bbox** — compaction only ever pulls objects together, so the
+  result's bounding box stays inside the pre-compaction one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..compact.separation import overlap_forbidden
+from ..db import LayoutObject
+from ..db.nets import net_is_connected
+from ..drc import run_drc
+from ..geometry import Direction, Rect, bounding_box
+from ..obs import get_tracer
+from ..tech import Technology
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One broken invariant, with enough detail to reproduce it."""
+
+    oracle: str
+    message: str
+    rects: Tuple[Rect, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+@dataclass
+class LayoutSnapshot:
+    """Pre-compaction state the oracles compare a result against."""
+
+    tech: Technology
+    rects: List[Rect] = field(default_factory=list)
+    bbox: Optional[Rect] = None
+    connected_nets: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def capture(cls, objects: Sequence[LayoutObject], tech: Technology) -> "LayoutSnapshot":
+        """Record geometry, bounding box and per-object net connectivity.
+
+        A net counts as "connected before compaction" when it is connected
+        *within the object that carries it* — objects are placed
+        independently, so cross-object connections only exist afterwards.
+        """
+        snapshot = cls(tech=tech)
+        for obj in objects:
+            rects = obj.nonempty_rects
+            snapshot.rects.extend(rect.copy() for rect in rects)
+            for net in sorted({r.net for r in rects if r.net is not None}):
+                if net_is_connected(rects, tech, net):
+                    snapshot.connected_nets.add(net)
+        snapshot.bbox = bounding_box(snapshot.rects)
+        return snapshot
+
+
+def oracle_drc_clean(
+    obj: LayoutObject, include_latchup: bool = True
+) -> List[OracleViolation]:
+    """The full design-rule checker must find nothing."""
+    return [
+        OracleViolation(
+            "drc", f"{violation.kind}: {violation.message}", tuple(violation.rects)
+        )
+        for violation in run_drc(obj, include_latchup=include_latchup)
+    ]
+
+
+def oracle_connectivity(
+    snapshot: LayoutSnapshot, obj: LayoutObject
+) -> List[OracleViolation]:
+    """Nets connected before compaction must stay connected after."""
+    rects = obj.nonempty_rects
+    return [
+        OracleViolation(
+            "connectivity",
+            f"net {net!r} was connected before compaction but is split"
+            " in the result",
+        )
+        for net in sorted(snapshot.connected_nets)
+        if not net_is_connected(rects, snapshot.tech, net)
+    ]
+
+
+def oracle_no_overlap(obj: LayoutObject) -> List[OracleViolation]:
+    """Overlap-forbidden (parasitic-protection) rects must stay overlap-free.
+
+    Touching is allowed — the paper's property forbids *overlap* between
+    conducting layers that carry no explicit spacing rule.
+    """
+    violations: List[OracleViolation] = []
+    rects = obj.nonempty_rects
+    flagged = [r for r in rects if r.no_overlap]
+    for a in flagged:
+        for b in rects:
+            if b is a:
+                continue
+            if not overlap_forbidden(obj.tech, a, b):
+                continue
+            cut = a.intersection(b)
+            if cut is not None and cut.area > 0:
+                violations.append(
+                    OracleViolation(
+                        "no_overlap",
+                        f"{a.layer!r} no_overlap rect overlaps {b.layer!r}"
+                        f" by {cut.width}×{cut.height} dbu",
+                        (a, b),
+                    )
+                )
+    return violations
+
+
+def oracle_bbox_bounded(
+    snapshot: LayoutSnapshot,
+    obj: LayoutObject,
+    direction: Optional["Direction"] = None,
+) -> List[OracleViolation]:
+    """Compaction pulls objects together; it never grows the placement.
+
+    Without a *direction*, the result's bounding box must sit inside the
+    pre-compaction one.  With a direction, the guarantee is refined to what
+    successive compaction actually promises: motion happens only along the
+    compaction axis and only *with* the direction, so
+
+    * the perpendicular span never changes;
+    * the trailing (against-direction) edge never retreats;
+    * the extent along the axis never grows — the leading edge alone may
+      pass the old bbox, when an object slides flush past the pile.
+    """
+    if snapshot.bbox is None:
+        return []
+    box = obj.bbox()
+    if box is None:
+        return []
+    pre = snapshot.bbox
+
+    def violation(reason: str) -> OracleViolation:
+        return OracleViolation(
+            "bbox",
+            f"{reason}: result bbox ({box.x1},{box.y1})–({box.x2},{box.y2})"
+            f" vs pre-compaction ({pre.x1},{pre.y1})–({pre.x2},{pre.y2})",
+            (box,),
+        )
+
+    if direction is None:
+        if (
+            pre.x1 <= box.x1 and pre.y1 <= box.y1
+            and box.x2 <= pre.x2 and box.y2 <= pre.y2
+        ):
+            return []
+        return [violation("placement grew")]
+
+    problems: List[OracleViolation] = []
+    perp = direction.axis.other
+    if box.span(perp)[0] < pre.span(perp)[0] or box.span(perp)[1] > pre.span(perp)[1]:
+        problems.append(violation("perpendicular span grew"))
+    sign = 1 if direction.is_positive else -1
+    trailing = direction.opposite
+    if (pre.edge_coord(trailing) - box.edge_coord(trailing)) * sign > 0:
+        problems.append(violation("trailing edge retreated against the direction"))
+    axis = direction.axis
+    pre_extent = pre.span(axis)[1] - pre.span(axis)[0]
+    post_extent = box.span(axis)[1] - box.span(axis)[0]
+    if post_extent > pre_extent:
+        problems.append(violation("extent along the compaction axis grew"))
+    return problems
+
+
+def check_layout(
+    snapshot: LayoutSnapshot,
+    obj: LayoutObject,
+    include_latchup: bool = True,
+    direction: Optional[Direction] = None,
+) -> List[OracleViolation]:
+    """Run every oracle; returns the combined violation list."""
+    tracer = get_tracer()
+    violations: List[OracleViolation] = []
+    with tracer.span("verify.oracles", obj=obj.name):
+        for name, found in (
+            ("drc", oracle_drc_clean(obj, include_latchup=include_latchup)),
+            ("connectivity", oracle_connectivity(snapshot, obj)),
+            ("no_overlap", oracle_no_overlap(obj)),
+            ("bbox", oracle_bbox_bounded(snapshot, obj, direction)),
+        ):
+            tracer.count("verify.oracle.checks")
+            tracer.count(f"verify.oracle.violations.{name}", len(found))
+            violations.extend(found)
+    tracer.count("verify.oracle.violations.total", len(violations))
+    return violations

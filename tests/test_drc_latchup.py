@@ -9,7 +9,7 @@ from repro.drc import (
     temporary_rectangles,
     uncovered_active_area,
 )
-from repro.geometry import Rect
+from repro.geometry import Rect, overlap_classification, union_area
 
 
 def test_temporary_rectangles_grow_by_rule(tech):
@@ -70,6 +70,59 @@ def test_insert_protection_contacts_fixes_layout(tech):
     added = insert_protection_contacts(obj)
     assert added
     assert check_latchup(obj) == []
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1: all 16 overlap cases of temporary rectangle vs. active area
+# ---------------------------------------------------------------------------
+# Per axis: contact span whose temporary rectangle (grown by the half size
+# ``h`` on each side) realises the Fig. 1 case against a solid of span
+# [0, S], and the length of the resulting overlap.
+_CASE_SPAN = {
+    0: lambda S, h: (0, S),                          # covers the full span
+    1: lambda S, h: (0, h),                          # covers the low end
+    2: lambda S, h: (S - h, S),                      # covers the high end
+    3: lambda S, h: (3 * h // 2, 5 * h // 2),        # interior
+}
+_CASE_OVERLAP = {
+    0: lambda S, h: S,
+    1: lambda S, h: 2 * h,
+    2: lambda S, h: 2 * h,
+    3: lambda S, h: 3 * h,
+}
+# Remainder pieces the subtraction leaves along one axis per case.
+_CASE_PIECES = {0: 0, 1: 1, 2: 1, 3: 2}
+
+
+@pytest.mark.parametrize(
+    "hcase,vcase",
+    [(h, v) for h in range(4) for v in range(4)],
+    ids=[f"h{h}_v{v}" for h in range(4) for v in range(4)],
+)
+def test_fig1_overlap_case(tech, hcase, vcase):
+    """One test per cell of the paper's 4×4 overlap table."""
+    half = tech.latchup_half_size("subcontact")
+    size = 4 * half
+    obj = LayoutObject("o", tech)
+    solid = obj.add_rect(Rect(0, 0, size, size, "pdiff"))
+    x1, x2 = _CASE_SPAN[hcase](size, half)
+    y1, y2 = _CASE_SPAN[vcase](size, half)
+    # The contact is placed so its grown (temporary) rectangle spans
+    # exactly [x1 - half, x2 + half] × [y1 - half, y2 + half].
+    obj.add_rect(Rect(x1, y1, x2, y2, "subcontact", "sub"))
+
+    temps = temporary_rectangles(obj)
+    assert len(temps) == 1
+    assert overlap_classification(solid, temps[0]) == (hcase, vcase)
+
+    remainders = uncovered_active_area(obj)
+    assert len(remainders) == _CASE_PIECES[hcase] + _CASE_PIECES[vcase]
+    overlap = (
+        _CASE_OVERLAP[hcase](size, half) * _CASE_OVERLAP[vcase](size, half)
+    )
+    assert union_area(remainders) == size * size - overlap
+    # The latch-up check itself agrees: uncovered area means a violation.
+    assert bool(check_latchup(obj)) == bool(remainders)
 
 
 def test_technology_without_rule_skips(tech):

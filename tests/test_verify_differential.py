@@ -1,0 +1,61 @@
+"""The differential harness: successive vs. constraint-graph compaction."""
+
+import random
+
+from repro.db import LayoutObject
+from repro.geometry import Direction, Rect
+from repro.route import path
+from repro.verify import random_object_set, run_differential, run_trial
+from repro.verify.differential import _net_partition
+
+
+def test_random_object_set_is_seeded(tech):
+    a = random_object_set(tech, random.Random("s"), 4, Direction.WEST)
+    b = random_object_set(tech, random.Random("s"), 4, Direction.WEST)
+    assert [o.name for o in a] == [o.name for o in b]
+    assert [sorted(r.as_tuple() for r in x.nonempty_rects) for x in a] == [
+        sorted(r.as_tuple() for r in x.nonempty_rects) for x in b
+    ]
+
+
+def test_random_objects_spread_against_direction(tech):
+    objects = random_object_set(tech, random.Random(7), 3, Direction.WEST)
+    # Compacting westward, later objects must start further east.
+    lefts = [o.bbox().x1 for o in objects]
+    assert lefts == sorted(lefts)
+
+
+def test_net_partition_merges_touching_nets(tech):
+    obj = LayoutObject("o", tech)
+    path(obj, "metal1", [(0, 0), (10000, 0)], net="a")
+    path(obj, "metal1", [(10000, 0), (20000, 0)], net="b")
+    path(obj, "metal1", [(0, 60000), (10000, 60000)], net="c")
+    assert _net_partition(obj) == {("a", "b"), ("c",)}
+
+
+def test_run_trial_is_deterministic(tech):
+    first = run_trial(tech, trial=3, seed=0)
+    second = run_trial(tech, trial=3, seed=0)
+    assert first.seed == second.seed == "0:3"
+    assert first.direction == second.direction
+    assert first.objects == second.objects
+    assert first.problems == second.problems
+
+
+def test_differential_trials_pass(tech):
+    reports = run_differential(tech, trials=12, seed=0)
+    assert len(reports) == 12
+    failing = [r for r in reports if not r.ok]
+    assert failing == [], "\n".join(p for r in failing for p in r.problems)
+
+
+def test_differential_trials_pass_cmos05(tech05):
+    reports = run_differential(tech05, trials=8, seed=1)
+    assert all(r.ok for r in reports)
+
+
+def test_report_ok_reflects_problems(tech):
+    report = run_trial(tech, trial=0, seed=0)
+    assert report.ok
+    report.problems.append("synthetic")
+    assert not report.ok

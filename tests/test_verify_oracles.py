@@ -1,0 +1,155 @@
+"""The invariant oracles of ``repro.verify.oracles``."""
+
+from repro.compact import Compactor
+from repro.db import LayoutObject
+from repro.geometry import Direction, Rect
+from repro.library import contact_row
+from repro.verify import (
+    LayoutSnapshot,
+    check_layout,
+    oracle_bbox_bounded,
+    oracle_connectivity,
+    oracle_drc_clean,
+    oracle_no_overlap,
+)
+
+
+def _two_rows(tech):
+    a = contact_row(tech, "poly", w=2.0, net="a", name="row_a")
+    b = contact_row(tech, "poly", w=2.0, net="b", name="row_b")
+    b.translate(0, 40 * tech.dbu_per_micron)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# snapshot
+# ---------------------------------------------------------------------------
+def test_snapshot_captures_geometry_and_nets(tech):
+    a, b = _two_rows(tech)
+    snapshot = LayoutSnapshot.capture([a, b], tech)
+    assert snapshot.bbox is not None
+    assert len(snapshot.rects) == len(a.nonempty_rects) + len(b.nonempty_rects)
+    # Both rows are internally connected, so both nets are recorded.
+    assert snapshot.connected_nets == {"a", "b"}
+
+
+def test_snapshot_ignores_disconnected_nets(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 2000, 2000, "metal1", "split"))
+    obj.add_rect(Rect(50000, 0, 52000, 2000, "metal1", "split"))
+    snapshot = LayoutSnapshot.capture([obj], tech)
+    assert "split" not in snapshot.connected_nets
+    # A split net can never be "broken by compaction" later on.
+    assert oracle_connectivity(snapshot, obj) == []
+
+
+# ---------------------------------------------------------------------------
+# individual oracles
+# ---------------------------------------------------------------------------
+def test_drc_oracle_flags_spacing_violation(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 2000, 2000, "metal1", "a"))
+    obj.add_rect(Rect(2100, 0, 4100, 2000, "metal1", "b"))  # below min space
+    violations = oracle_drc_clean(obj, include_latchup=False)
+    assert violations
+    assert all(v.oracle == "drc" for v in violations)
+
+
+def test_drc_oracle_passes_clean_cell(tech):
+    obj = contact_row(tech, "poly", w=2.0, net="n")
+    assert oracle_drc_clean(obj, include_latchup=False) == []
+
+
+def test_connectivity_oracle_detects_split(tech):
+    a, _ = _two_rows(tech)
+    snapshot = LayoutSnapshot.capture([a], tech)
+    broken = LayoutObject("broken", tech)
+    for index, rect in enumerate(a.nonempty_rects):
+        moved = rect.copy()
+        # Scatter the rects so the net falls apart.
+        moved.translate(index * 30 * tech.dbu_per_micron, 0)
+        broken.add_rect(moved)
+    violations = oracle_connectivity(snapshot, broken)
+    assert [v.oracle for v in violations] == ["connectivity"]
+    assert "'a'" in violations[0].message
+
+
+def test_no_overlap_oracle(tech):
+    obj = LayoutObject("o", tech)
+    plate = obj.add_rect(Rect(0, 0, 10000, 10000, "metal1", "shield"))
+    plate.no_overlap = True
+    # Touching is allowed...
+    obj.add_rect(Rect(10000, 0, 12000, 2000, "poly", "sig"))
+    assert oracle_no_overlap(obj) == []
+    # ...overlapping is not.
+    obj.add_rect(Rect(8000, 0, 11000, 2000, "poly", "sig2"))
+    violations = oracle_no_overlap(obj)
+    assert violations and violations[0].oracle == "no_overlap"
+
+
+def test_bbox_oracle_plain_containment(tech):
+    a, b = _two_rows(tech)
+    snapshot = LayoutSnapshot.capture([a, b], tech)
+    inside = a.copy()
+    assert oracle_bbox_bounded(snapshot, inside) == []
+    grown = a.copy()
+    grown.translate(-100 * tech.dbu_per_micron, 0)
+    assert oracle_bbox_bounded(snapshot, grown)
+
+
+def test_bbox_oracle_directional_semantics(tech):
+    """With a direction, only against-direction and perpendicular growth count."""
+    a, b = _two_rows(tech)  # b sits 40 µm north of a
+    snapshot = LayoutSnapshot.capture([a, b], tech)
+
+    merged = LayoutObject("m", tech)
+    merged.merge(a.copy())
+    slid = b.copy()
+    # Slide b south past a entirely: the south (leading) edge passes the
+    # pre-compaction bbox, which directional compaction legitimately allows.
+    slid.translate(0, -60 * tech.dbu_per_micron)
+    merged.merge(slid)
+    assert oracle_bbox_bounded(snapshot, merged, Direction.SOUTH) == []
+    # The same layout violates the direction-free containment check...
+    assert oracle_bbox_bounded(snapshot, merged)
+    # ...and a northward compaction could never have produced it: the south
+    # trailing edge retreated.
+    assert oracle_bbox_bounded(snapshot, merged, Direction.NORTH)
+
+
+def test_bbox_oracle_axis_extent_must_not_grow(tech):
+    a, b = _two_rows(tech)
+    snapshot = LayoutSnapshot.capture([a, b], tech)
+    merged = LayoutObject("m", tech)
+    merged.merge(a.copy())
+    spread = b.copy()
+    spread.translate(0, 30 * tech.dbu_per_micron)  # further apart than before
+    merged.merge(spread)
+    violations = oracle_bbox_bounded(snapshot, merged, Direction.SOUTH)
+    assert any("extent" in v.message for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# driver: real compaction satisfies every oracle
+# ---------------------------------------------------------------------------
+def test_compacted_layout_passes_all_oracles(tech):
+    a, b = _two_rows(tech)
+    snapshot = LayoutSnapshot.capture([a, b], tech)
+    main = LayoutObject("main", tech)
+    compactor = Compactor(variable_edges=False, auto_connect=False)
+    compactor.compact(main, a.copy(), Direction.SOUTH)
+    compactor.compact(main, b.copy(), Direction.SOUTH)
+    assert check_layout(
+        snapshot, main, include_latchup=False, direction=Direction.SOUTH
+    ) == []
+
+
+def test_check_layout_aggregates_all_oracles(tech):
+    obj = LayoutObject("o", tech)
+    obj.add_rect(Rect(0, 0, 2000, 2000, "metal1", "a"))
+    obj.add_rect(Rect(2100, 0, 4100, 2000, "metal1", "b"))
+    snapshot = LayoutSnapshot.capture([obj], tech)
+    grown = obj.copy()
+    grown.add_rect(Rect(-90000, 0, -88000, 2000, "metal1", "c"))
+    names = {v.oracle for v in check_layout(snapshot, grown, include_latchup=False)}
+    assert "drc" in names and "bbox" in names

@@ -17,6 +17,12 @@ the honest number — two back-to-back wall-clock runs of a ~2 s workload
 differ by more than the disabled instrumentation costs, so a measured
 disabled-vs-disabled delta would be noise.)
 
+The provenance recorder (``repro.obs.provenance``) follows the same
+zero-cost-when-disabled contract, so the bench measures it the same way:
+an enabled run counts the recorder-site hits (rect stamps, entity frames,
+builtin tags), a microbenchmark prices the disabled ``get_recorder()`` +
+``enabled`` check, and the product must stay under 1% of the workload.
+
 Run ``BENCH_SMOKE=1 pytest benchmarks/bench_obs_overhead.py`` for the quick
 CI variant (one repetition per mode).
 """
@@ -27,7 +33,15 @@ import time
 from pathlib import Path
 
 from repro.amplifier import build_amplifier, measure_amplifier
-from repro.obs import StatsSink, Tracer, activate, get_tracer
+from repro.obs import (
+    ProvenanceRecorder,
+    StatsSink,
+    Tracer,
+    activate,
+    get_recorder,
+    get_tracer,
+    recording,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
@@ -35,6 +49,8 @@ REPS = 1 if SMOKE else 3
 
 #: Acceptance threshold for the disabled-tracer overhead estimate.
 MAX_DISABLED_OVERHEAD_PCT = 2.0
+#: Acceptance threshold for the disabled-provenance overhead estimate.
+MAX_DISABLED_PROV_OVERHEAD_PCT = 1.0
 
 
 def _workload(tech):
@@ -67,6 +83,17 @@ def _disabled_call_ns(loops=200_000):
     return (time.perf_counter_ns() - start) / loops
 
 
+def _disabled_prov_check_ns(loops=200_000):
+    """Per-site cost of a disabled provenance check (what add_rect pays)."""
+    assert not get_recorder().enabled
+    start = time.perf_counter_ns()
+    for _ in range(loops):
+        recorder = get_recorder()
+        if recorder.enabled:  # pragma: no cover - disabled by assertion
+            recorder.current()
+    return (time.perf_counter_ns() - start) / loops
+
+
 def test_obs_overhead(tech, record):
     # Tracer disabled: the production default.
     disabled_s, report = _best_of(REPS, _workload, tech)
@@ -95,6 +122,17 @@ def test_obs_overhead(tech, record):
         100.0 * (instrumentation_calls * per_call_ns) / (disabled_s * 1e9)
     )
 
+    # Provenance recorder: count the sites an enabled run actually hits,
+    # then price the disabled check they all reduce to.
+    recorder = ProvenanceRecorder(enabled=True)
+    with recording(recorder):
+        _workload(tech)
+    prov_sites = recorder.stamps + recorder.entity_calls + recorder.builtin_calls
+    prov_check_ns = _disabled_prov_check_ns()
+    est_disabled_prov_overhead_pct = (
+        100.0 * (prov_sites * prov_check_ns) / (disabled_s * 1e9)
+    )
+
     report_json = {
         "workload": "Sec. 3 amplifier build + measure (DRC included)",
         "smoke": SMOKE,
@@ -106,6 +144,10 @@ def test_obs_overhead(tech, record):
         "disabled_per_call_ns": per_call_ns,
         "est_disabled_overhead_pct": est_disabled_overhead_pct,
         "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+        "provenance_sites": prov_sites,
+        "disabled_prov_check_ns": prov_check_ns,
+        "est_disabled_prov_overhead_pct": est_disabled_prov_overhead_pct,
+        "max_disabled_prov_overhead_pct": MAX_DISABLED_PROV_OVERHEAD_PCT,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_obs.json").write_text(
@@ -121,9 +163,18 @@ def test_obs_overhead(tech, record):
         f" {per_call_ns:.0f} ns/disabled call"
         f" → {est_disabled_overhead_pct:.3f}% estimated disabled overhead",
         f"  acceptance: < {MAX_DISABLED_OVERHEAD_PCT}% disabled overhead",
+        f"  {prov_sites} provenance sites ×"
+        f" {prov_check_ns:.0f} ns/disabled check"
+        f" → {est_disabled_prov_overhead_pct:.3f}% estimated disabled"
+        " provenance overhead"
+        f" (acceptance: < {MAX_DISABLED_PROV_OVERHEAD_PCT}%)",
     ])
 
     assert est_disabled_overhead_pct < MAX_DISABLED_OVERHEAD_PCT, (
         f"disabled-tracer overhead {est_disabled_overhead_pct:.2f}% exceeds"
         f" {MAX_DISABLED_OVERHEAD_PCT}%"
+    )
+    assert est_disabled_prov_overhead_pct < MAX_DISABLED_PROV_OVERHEAD_PCT, (
+        f"disabled-provenance overhead {est_disabled_prov_overhead_pct:.2f}%"
+        f" exceeds {MAX_DISABLED_PROV_OVERHEAD_PCT}%"
     )

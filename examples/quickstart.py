@@ -57,7 +57,7 @@ def main():
     print("\nTraced rebuild of the full variant:")
     print(stats.format_table())
     print(f"\nChrome trace written to {OUT}/quickstart_trace.json"
-          " (open in Perfetto)")
+          " (open in Perfetto; generated locally, not committed)")
 
 
 if __name__ == "__main__":

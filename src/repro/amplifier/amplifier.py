@@ -17,6 +17,7 @@ from ..db import LayoutObject, capacitance_report
 from ..drc import run_drc
 from ..geometry import Rect, bounding_box
 from ..library import substrate_ring
+from ..obs.provenance import provenance_entity
 from ..route import via_stack, wire
 from ..tech import RuleError, Technology
 from .blocks import BLOCK_BUILDERS
@@ -49,6 +50,7 @@ class AmplifierReport:
     net_capacitance_af: Dict[str, float] = field(default_factory=dict)
 
 
+@provenance_entity("BiCMOSAmplifier")
 def build_amplifier(
     tech: Technology,
     compactor: Optional[Compactor] = None,
@@ -170,6 +172,7 @@ def _substrate_strips(
                 "contact", cut, space, [(strip_diff, enc), (metal, enc)], "sub"
             )
             link.rebuild()
+            link.stamp_provenance()
             for rect in link.rects:
                 amp.rects.append(rect)
             amp.add_link(link)

@@ -36,9 +36,11 @@ from ..library import (
     symmetric_npn_pair,
 )
 from ..library.interdigitated import via_landing_um
+from ..obs.provenance import provenance_entity
 from ..tech import Technology
 
 
+@provenance_entity("BlockA")
 def block_a(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Bias cascodes: two inter-digital MOS transistors side by side."""
     if compactor is None:
@@ -60,6 +62,7 @@ def block_a(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutOb
     return block
 
 
+@provenance_entity("BlockB")
 def block_b(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Current mirror with the diode transistor in the middle."""
     return symmetric_current_mirror(
@@ -69,6 +72,7 @@ def block_b(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutOb
     )
 
 
+@provenance_entity("BlockC")
 def block_c(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Matched current sources: cross-coupled inter-digital transistors."""
     return cross_coupled_pair(
@@ -79,6 +83,7 @@ def block_c(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutOb
     )
 
 
+@provenance_entity("BlockD")
 def block_d(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Level shifter devices without matching requirements."""
     if compactor is None:
@@ -101,6 +106,7 @@ def block_d(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutOb
     return block
 
 
+@provenance_entity("BlockE")
 def block_e(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Input differential pair: the module-E centroid pair (Fig. 10)."""
     return centroid_cross_coupled_pair(
@@ -115,6 +121,7 @@ def block_e(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutOb
     )
 
 
+@provenance_entity("BlockF")
 def block_f(tech: Technology, compactor: Optional[Compactor] = None) -> LayoutObject:
     """Output bipolar devices, composed symmetrically."""
     return symmetric_npn_pair(

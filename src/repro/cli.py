@@ -14,6 +14,8 @@ session         record the two-window design session as HTML
 amplifier       build the Sec. 3 BiCMOS amplifier example
 stats           run any command under the tracer, print a profiling summary
 verify          golden-cell hashes, PLDL fuzzing, differential compaction
+explain         build a cell with provenance on and explain its DRC violations
+report          write the self-contained HTML run report for a cell
 ==============  ==============================================================
 
 ``--trace out.json`` (before the command) records a Chrome trace-event
@@ -35,10 +37,13 @@ from .io import dumps_object, read_gds, render_svg, write_gds, write_svg
 from .io.textdump import load_object
 from .obs import (
     ChromeTraceSink,
+    ProvenanceRecorder,
     StatsSink,
     Tracer,
     configure_logging,
     get_logger,
+    get_tracer,
+    set_recorder,
     set_tracer,
 )
 from .tech import (
@@ -344,6 +349,120 @@ def _pipeline_selfcheck(tech: Technology) -> None:
     )
 
 
+def _build_cell(name: str, tech: Technology) -> LayoutObject:
+    """Build a named cell: the amplifier or any golden-regression cell."""
+    if name == "amplifier":
+        from .amplifier import build_amplifier
+
+        return build_amplifier(tech)
+    from .library import GOLDEN_CELLS
+
+    for cell in GOLDEN_CELLS:
+        if cell.name == name:
+            if not cell.supported(tech):
+                missing = ", ".join(
+                    layer for layer in cell.requires if not tech.has_layer(layer)
+                )
+                raise SystemExit(
+                    f"error: cell {name!r} needs layers this technology"
+                    f" lacks ({missing})"
+                )
+            return cell.build(tech)
+    known = ", ".join(["amplifier"] + [cell.name for cell in GOLDEN_CELLS])
+    raise SystemExit(f"error: unknown cell {name!r} (known cells: {known})")
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .obs.report import explain_violations
+
+    tech = _resolve_tech(args.tech)
+    recorder = ProvenanceRecorder(enabled=True)
+    previous = set_recorder(recorder)
+    try:
+        cell = _build_cell(args.cell, tech)
+    finally:
+        set_recorder(previous)
+    violations = run_drc(cell)
+    explanations = explain_violations(cell, violations)
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "kind": e.violation.kind,
+                "message": e.violation.message,
+                "where": list(e.violation.where),
+                "rule": e.rule_text,
+                "why": e.gloss,
+                "suggestion": e.suggestion,
+                "latchup_case": e.latchup_case,
+                "rects": [
+                    {
+                        "layer": rect.layer,
+                        "net": rect.net,
+                        "bbox": [rect.x1, rect.y1, rect.x2, rect.y2],
+                        "provenance": chain,
+                    }
+                    for rect, chain in e.provenances
+                ],
+            }
+            for e in explanations
+        ]
+        print(json.dumps(payload, indent=2))
+    elif not explanations:
+        print(f"{cell.name}: DRC clean — nothing to explain")
+    else:
+        print(f"{cell.name}: {len(explanations)} violation(s)")
+        for explanation in explanations:
+            print(explanation.format())
+    return 1 if violations else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import write_report
+
+    tech = _resolve_tech(args.tech)
+    recorder = ProvenanceRecorder(enabled=True, capture_stages=False)
+    tracer = get_tracer()
+    own_tracer = not tracer.enabled
+    if own_tracer:
+        tracer = Tracer(enabled=True)
+    stats_sink = StatsSink()
+    tracer.add_sink(stats_sink)
+    previous_recorder = set_recorder(recorder)
+    previous_tracer = set_tracer(tracer) if own_tracer else None
+    try:
+        if args.cell == "amplifier":
+            # Populates the optimizer trial table; stage capture stays off so
+            # the gallery shows only the requested cell's compaction stages.
+            _pipeline_selfcheck(tech)
+        recorder.capture_stages = True
+        cell = _build_cell(args.cell, tech)
+    finally:
+        if previous_tracer is not None:
+            set_tracer(previous_tracer)
+        set_recorder(previous_recorder)
+        tracer.sinks.remove(stats_sink)
+    violations = run_drc(cell)
+    out = write_report(
+        cell,
+        args.output,
+        recorder=recorder,
+        violations=violations,
+        stats_table=stats_sink.format_table(),
+    )
+    covered = sum(
+        1 for rect in cell.nonempty_rects
+        if rect.prov is not None and rect.prov.entities
+    )
+    print(
+        f"{cell.name}: report → {out} ({len(recorder.stages)} stages,"
+        f" {len(recorder.trials)} trials, {len(violations)} violations,"
+        f" provenance on {covered}/{len(cell.nonempty_rects)} rects)"
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
@@ -467,6 +586,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write failing fuzz programs and object sets to DIR",
     )
     verify.set_defaults(func=cmd_verify)
+
+    explain = sub.add_parser(
+        "explain",
+        help="build a cell with provenance recording and explain every DRC"
+             " violation (rule text, provenance chains, suggested fix)",
+    )
+    explain.add_argument(
+        "cell",
+        help="'amplifier' or any golden-regression cell name"
+             " (e.g. diff_pair, mos_transistor)",
+    )
+    explain.add_argument("--tech", default="generic_bicmos_1u")
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text rendering",
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    report = sub.add_parser(
+        "report",
+        help="write the self-contained HTML run report (per-stage SVGs,"
+             " provenance tooltips, violation table, optimizer trials)",
+    )
+    report.add_argument(
+        "cell",
+        help="'amplifier' or any golden-regression cell name",
+    )
+    report.add_argument("-o", "--output", default="run_report.html")
+    report.add_argument("--tech", default="generic_bicmos_1u")
+    report.set_defaults(func=cmd_report)
 
     stats = sub.add_parser(
         "stats",

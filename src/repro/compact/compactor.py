@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..db import LayoutObject
 from ..geometry import Direction, Rect
 from ..obs import get_logger, get_tracer
+from ..obs.provenance import get_recorder
 from .separation import (
     PairConstraint,
     frontier_filter,
@@ -96,6 +97,21 @@ class Compactor:
             "compact.step", obj=obj.name, into=main.name, direction=direction.name
         ):
             result = self._compact_step(main, obj, direction, ignore_layers)
+        recorder = get_recorder()
+        if recorder.enabled:
+            step = recorder.next_step()
+            for rect in result.merged_rects:
+                prov = rect.prov
+                if prov is not None and prov.step is None:
+                    rect.prov = prov.with_step(step)
+            if recorder.capture_stages:
+                recorder.record_stage(
+                    main,
+                    f"step {step}: {obj.name} → {main.name} {direction.name}",
+                    travel=result.travel,
+                    shrunk_edges=result.shrunk_edges,
+                    connected=result.connected,
+                )
         tracer.count("compact.steps")
         tracer.count("compact.merged_rects", len(result.merged_rects))
         tracer.count("compact.relaxed_edges", result.shrunk_edges)
@@ -402,6 +418,10 @@ class Compactor:
                 if bridge is None or self._bridge_blocked(main, bridge, arrival.net):
                     continue
                 main.move_stretch(resident, direction.opposite, lead)
+                if resident.prov is not None and arrival.prov is not None:
+                    resident.prov = resident.prov.derived(
+                        "auto_connect", arrival.prov
+                    )
                 connected += 1
         return connected
 

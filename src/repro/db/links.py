@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Direction, Rect
+from ..obs.provenance import get_recorder
 
 
 class Link:
@@ -118,6 +119,10 @@ class ArrayLink(Link):
         self.outers = list(outers)
         self.net = net
         self.rects: List[Rect] = []
+        #: Creation-time obs.Provenance of the array (set by the ARRAY
+        #: primitive when recording); rebuild() stamps new cuts with a
+        #: "rebuild" lineage derived from it.
+        self.prov = None
 
     # ------------------------------------------------------------------
     def region(self) -> Optional[Rect]:
@@ -155,14 +160,18 @@ class ArrayLink(Link):
             ys = self._positions(region.y1, region.y2)
             placements = [(x, y) for y in ys for x in xs]
 
+        derived = None
         for index, (x, y) in enumerate(placements):
             if index < len(self.rects):
                 rect = self.rects[index]
                 rect.x1, rect.y1 = x, y
                 rect.x2, rect.y2 = x + self.cut_size, y + self.cut_size
             else:
+                if derived is None and self.prov is not None:
+                    derived = self.prov.derived("rebuild", self.prov)
                 self.rects.append(
-                    Rect(x, y, x + self.cut_size, y + self.cut_size, self.cut_layer, self.net)
+                    Rect(x, y, x + self.cut_size, y + self.cut_size,
+                         self.cut_layer, self.net, prov=derived)
                 )
         # Collapse any surplus rects to empty so they vanish from output.
         for rect in self.rects[len(placements):]:
@@ -179,6 +188,22 @@ class ArrayLink(Link):
         span = extent - self.cut_size
         return [lo + round(i * span / (n - 1)) for i in range(n)]
 
+    def stamp_provenance(self) -> None:
+        """Record the creation context on the link and its current cuts.
+
+        Array cuts bypass :meth:`LayoutObject.add_rect`, so every builder
+        that creates an :class:`ArrayLink` calls this right after the
+        creating :meth:`rebuild`; later rebuilds then derive "rebuild"
+        lineage from the remembered record.  No-op when recording is off.
+        """
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        self.prov = recorder.current()
+        for rect in self.rects:
+            if rect.prov is None:
+                recorder.stamp(rect)
+
     def involved_rects(self) -> List[Rect]:
         return list(self.rects) + [outer for outer, _ in self.outers]
 
@@ -191,4 +216,5 @@ class ArrayLink(Link):
             self.net,
         )
         link.rects = [mapping.get(id(r), r) for r in self.rects]
+        link.prov = self.prov
         return link

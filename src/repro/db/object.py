@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..geometry import Direction, Rect, Transform, bounding_box, union_area
+from ..obs.provenance import get_recorder
 from ..tech import Technology
 from ..tech.layer import LayerKind
 from .links import ArrayLink, InsideLink, Link
@@ -51,6 +52,9 @@ class LayoutObject:
     def add_rect(self, rect: Rect) -> Rect:
         """Append a rectangle (validating its layer) and return it."""
         self.tech.layer(rect.layer)
+        recorder = get_recorder()
+        if recorder.enabled and rect.prov is None:
+            recorder.stamp(rect)
         self.rects.append(rect)
         return rect
 

@@ -51,7 +51,8 @@ class Rect:
     but most algorithms filter them out via :meth:`is_empty`.
     """
 
-    __slots__ = ("x1", "y1", "x2", "y2", "layer", "net", "no_overlap", "_edges")
+    __slots__ = ("x1", "y1", "x2", "y2", "layer", "net", "no_overlap", "_edges",
+                 "prov")
 
     def __init__(
         self,
@@ -63,6 +64,7 @@ class Rect:
         net: Optional[str] = None,
         no_overlap: bool = False,
         edges: Optional[Dict[Direction, EdgeProperty]] = None,
+        prov: Optional[object] = None,
     ) -> None:
         if x2 < x1:
             x1, x2 = x2, x1
@@ -76,6 +78,8 @@ class Rect:
         self.net = net
         self.no_overlap = no_overlap
         self._edges: Dict[Direction, EdgeProperty] = edges if edges is not None else {}
+        #: Optional obs.Provenance record; never affects geometry or output.
+        self.prov = prov
 
     # ------------------------------------------------------------------
     # basic metrics
@@ -256,7 +260,7 @@ class Rect:
         )
 
     def copy(self) -> "Rect":
-        """Deep copy including edge properties."""
+        """Deep copy including edge properties (shares the provenance record)."""
         return Rect(
             self.x1,
             self.y1,
@@ -266,6 +270,7 @@ class Rect:
             self.net,
             self.no_overlap,
             {d: p.copy() for d, p in self._edges.items()},
+            self.prov,
         )
 
     def merged(self, other: "Rect") -> "Rect":

@@ -9,10 +9,12 @@ environment (the text half being the source itself).
 
 from __future__ import annotations
 
+from html import escape
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..db import LayoutObject
+from ..geometry import Rect
 from ..tech import Technology
 
 _PATTERN_BODIES: Dict[str, str] = {
@@ -59,11 +61,17 @@ def render_svg(
     scale: float = 0.02,
     margin: int = 2000,
     show_labels: bool = True,
+    tooltip_extra: Optional[Callable[[Rect], Optional[str]]] = None,
+    highlights: Optional[Sequence[Tuple[Rect, str]]] = None,
 ) -> str:
     """Render a layout object as an SVG document string.
 
     ``scale`` maps database units to SVG pixels; layers draw in technology
-    registration order (wells below, metals on top).
+    registration order (wells below, metals on top).  ``tooltip_extra``
+    may return an extra tooltip line per rect (the run report passes the
+    rect's provenance chain).  ``highlights`` draws dashed red outlines
+    with their own tooltips on top of everything — used for DRC violation
+    overlays.
     """
     tech = obj.tech
     box = obj.bbox()
@@ -87,13 +95,20 @@ def render_svg(
         x = (rect.x1 - x0) * scale
         # SVG y axis points down; flip about the box.
         y = height - (rect.y2 - y0) * scale
+        title = (
+            f"{rect.layer}"
+            + (f" net={rect.net}" if rect.net else "")
+            + f" ({rect.x1},{rect.y1})-({rect.x2},{rect.y2})"
+        )
+        if tooltip_extra is not None:
+            extra = tooltip_extra(rect)
+            if extra:
+                title += "\n" + extra
         parts.append(
             f'<rect x="{x:.2f}" y="{y:.2f}" width="{rect.width * scale:.2f}"'
             f' height="{rect.height * scale:.2f}" {_fill_for(tech, rect.layer)}'
             f' stroke="{layer.color}" stroke-width="0.6">'
-            f"<title>{rect.layer}"
-            + (f" net={rect.net}" if rect.net else "")
-            + f" ({rect.x1},{rect.y1})-({rect.x2},{rect.y2})</title></rect>"
+            f"<title>{escape(title)}</title></rect>"
         )
     if show_labels:
         for label in obj.labels:
@@ -103,6 +118,17 @@ def render_svg(
                 f'<text x="{x:.2f}" y="{y:.2f}" font-size="8"'
                 f' fill="black">{label.text}</text>'
             )
+    for mark, tooltip in highlights or ():
+        x = (mark.x1 - x0) * scale
+        y = height - (mark.y2 - y0) * scale
+        w = max(mark.width * scale, 2.0)
+        h = max(mark.height * scale, 2.0)
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}"'
+            ' fill="none" stroke="#d00" stroke-width="1.6"'
+            ' stroke-dasharray="4,2">'
+            f"<title>{escape(tooltip)}</title></rect>"
+        )
     parts.append("</svg>")
     return "".join(parts)
 

@@ -23,6 +23,7 @@ from ..compact import Compactor
 from ..db import LayoutObject
 from ..geometry import Direction
 from ..obs import get_logger, get_tracer
+from ..obs.provenance import get_recorder
 from ..primitives import angle_adaptor, around, array, inbox, ring, tworects
 from ..route import via_stack, wire
 from ..tech import RuleError, Technology
@@ -351,8 +352,9 @@ class Interpreter:
             with tracer.span(
                 "interp.entity", entity=entity.name, line=line, depth=self._depth
             ):
-                for statement in entity.body:
-                    self._exec(statement, inner)
+                with get_recorder().entity(entity.name, bound):
+                    for statement in entity.body:
+                        self._exec(statement, inner)
         finally:
             self._depth -= 1
         return inner.obj  # type: ignore[return-value]

@@ -13,6 +13,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from ..compact import Compactor
 from ..db import LayoutObject
 from ..geometry import Direction
+from ..obs.provenance import get_recorder
 from ..primitives import angle_adaptor, around, array, inbox, ring, tworects
 from ..route import via_stack, wire
 from ..tech import RuleError, Technology
@@ -25,13 +26,31 @@ class Runtime:
         self.tech = tech
         self.compactor = compactor if compactor is not None else Compactor()
         self._counter = 0
+        #: Provenance frame depth per live entity object (see begin/end).
+        self._prov_frames: dict = {}
 
     # ------------------------------------------------------------------
-    def begin(self, entity_name: str) -> LayoutObject:
-        """Create the structure a translated entity builds into."""
+    def begin(self, entity_name: str, **params: Any) -> LayoutObject:
+        """Create the structure a translated entity builds into.
+
+        When the provenance recorder is live, an entity frame is pushed with
+        the caller's parameter bindings; :meth:`end` pops it.  Older
+        generated modules call ``begin`` without parameters and never call
+        ``end`` — the depth-token pop keeps those tolerable (their frames
+        are truncated by the next outer ``end``).
+        """
         obj = LayoutObject(f"{entity_name}_{self._counter}", self.tech)
         self._counter += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            self._prov_frames[id(obj)] = recorder.push_entity(entity_name, params)
         return obj
+
+    def end(self, obj: LayoutObject) -> None:
+        """Close the provenance frame opened by :meth:`begin` for *obj*."""
+        depth = self._prov_frames.pop(id(obj), None)
+        if depth is not None:
+            get_recorder().pop_entity(depth)
 
     def _dbu(self, value: Optional[float]) -> Optional[int]:
         return None if value is None else self.tech.um(float(value))

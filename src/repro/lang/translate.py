@@ -72,8 +72,15 @@ class _Translator:
         self._scope |= self._bound_names(entity.body)
         lines = [f"def {entity.name}({', '.join(params)}):"]
         lines.append(f'{_INDENT}"""Generated from entity {entity.name}."""')
-        lines.append(f'{_INDENT}obj = rt.begin("{entity.name}")')
-        lines.extend(self.block(entity.body, depth=1, obj_var="obj"))
+        # Forward the parameter bindings so provenance frames record them.
+        begin_args = [f'"{entity.name}"']
+        begin_args += [f"{p.name}={p.name}" for p in entity.params]
+        lines.append(f"{_INDENT}obj = rt.begin({', '.join(begin_args)})")
+        lines.append(f"{_INDENT}try:")
+        body = self.block(entity.body, depth=2, obj_var="obj")
+        lines.extend(body if body else [f"{_INDENT * 2}pass"])
+        lines.append(f"{_INDENT}finally:")
+        lines.append(f"{_INDENT * 2}rt.end(obj)")
         lines.append(f"{_INDENT}return obj")
         return lines
 

@@ -16,8 +16,10 @@ from ..geometry import Direction
 from ..primitives import around, array, inbox
 from ..tech import Technology
 from .contact_row import contact_row
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("NpnTransistor")
 def npn_transistor(
     tech: Technology,
     emitter_w: float = 2.0,
@@ -62,6 +64,7 @@ def npn_transistor(
     return device
 
 
+@provenance_entity("SymmetricNpnPair")
 def symmetric_npn_pair(
     tech: Technology,
     emitter_w: float = 2.0,

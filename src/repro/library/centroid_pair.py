@@ -33,11 +33,13 @@ from ..geometry import Direction, Rect
 from ..route import via_stack, wire
 from ..tech import Technology
 from .interdigitated import DeviceNets, patterned_row, via_landing_um
+from ..obs.provenance import provenance_entity
 
 #: West half of one row: 2 outer dummies, A/B interleave, 2 centre dummies.
 HALF_PATTERN = "DDABAB" + "DD"
 
 
+@provenance_entity("CentroidCrossCoupledPair")
 def centroid_cross_coupled_pair(
     tech: Technology,
     w: float = 10.0,

@@ -13,6 +13,7 @@ from ..db import LayoutObject
 from ..geometry import Direction
 from ..primitives import array, inbox
 from ..tech import Technology
+from ..obs.provenance import provenance_entity
 
 #: Fig. 2 verbatim (modulo the ENT terminator): a complete parameterizable
 #: contact row in three primitive calls, no coordinates, no rule values.
@@ -25,6 +26,7 @@ END
 """
 
 
+@provenance_entity("ContactRow")
 def contact_row(
     tech: Technology,
     layer: str,

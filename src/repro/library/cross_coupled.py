@@ -22,8 +22,10 @@ from ..geometry import Rect
 from ..route import via_stack, wire
 from ..tech import Technology
 from .interdigitated import DeviceNets, patterned_row, via_landing_um
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("CrossCoupledPair")
 def cross_coupled_pair(
     tech: Technology,
     w: float,

@@ -17,8 +17,10 @@ from ..tech import Technology
 from .contact_row import contact_row
 from .interdigitated import DeviceNets, patterned_row, strap_net, via_landing_um
 from .transistor import mos_transistor
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("SimpleCurrentMirror")
 def simple_current_mirror(
     tech: Technology,
     w: float,
@@ -56,6 +58,7 @@ def simple_current_mirror(
     return mirror
 
 
+@provenance_entity("SymmetricCurrentMirror")
 def symmetric_current_mirror(
     tech: Technology,
     w: float,
@@ -133,6 +136,7 @@ def _diode_strap(obj: LayoutObject, tech: Technology, net: str) -> None:
             wire(obj, "metal1", (x, row_cy), ((row.x1 + row.x2) // 2, row_cy), net=net)
 
 
+@provenance_entity("CascodePair")
 def cascode_pair(
     tech: Technology,
     w: float,

@@ -19,6 +19,7 @@ from ..geometry import Direction
 from ..tech import Technology
 from .contact_row import contact_row
 from .transistor import mos_transistor
+from ..obs.provenance import provenance_entity
 
 #: Fig. 7, adapted (structure and step count preserved: 2 within Trans,
 #: 3 within DiffPair).
@@ -52,6 +53,7 @@ END
 """
 
 
+@provenance_entity("DiffPair")
 def diff_pair(
     tech: Technology,
     w: float,

@@ -15,8 +15,10 @@ from ..db import ArrayLink, LayoutObject
 from ..geometry import Rect
 from ..primitives import ring
 from ..tech import Technology
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("SubstrateRing")
 def substrate_ring(
     obj: LayoutObject,
     net: str = "sub",
@@ -58,12 +60,14 @@ def substrate_ring(
         )
         link.rebuild()
         if link.rects:
+            link.stamp_provenance()
             for rect in link.rects:
                 obj.rects.append(rect)
             obj.add_link(link)
     return diff_rects
 
 
+@provenance_entity("GuardRing")
 def guard_ring(
     obj: LayoutObject,
     net: str = "guard",

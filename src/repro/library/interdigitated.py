@@ -20,6 +20,7 @@ from ..primitives import tworects
 from ..route import wire
 from ..tech import Technology
 from .contact_row import contact_row
+from ..obs.provenance import provenance_entity
 
 
 @dataclass
@@ -42,6 +43,7 @@ def via_landing_um(tech: Technology) -> float:
     ) / tech.dbu_per_micron
 
 
+@provenance_entity("Finger")
 def finger(
     tech: Technology,
     w: float,
@@ -97,6 +99,7 @@ def finger(
     return obj
 
 
+@provenance_entity("PatternedRow")
 def patterned_row(
     tech: Technology,
     w: float,
@@ -158,6 +161,7 @@ def patterned_row(
     return row
 
 
+@provenance_entity("InterdigitatedTransistor")
 def interdigitated_transistor(
     tech: Technology,
     w: float,

@@ -17,8 +17,10 @@ from ..primitives import angle_adaptor
 from ..route import wire
 from ..tech import RuleError, Technology
 from .contact_row import contact_row
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("PolyResistor")
 def poly_resistor(
     tech: Technology,
     width: float = 2.0,
@@ -92,6 +94,7 @@ def resistor_value(
     return estimate_net_resistance(obj.rects, tech, body_net)
 
 
+@provenance_entity("MosCapacitor")
 def mos_capacitor(
     tech: Technology,
     width: float = 20.0,

@@ -16,8 +16,10 @@ from ..primitives import tworects
 from ..route import wire
 from ..tech import Technology
 from .contact_row import contact_row
+from ..obs.provenance import provenance_entity
 
 
+@provenance_entity("MosTransistor")
 def mos_transistor(
     tech: Technology,
     w: float,
@@ -85,6 +87,7 @@ def mos_transistor(
     return obj
 
 
+@provenance_entity("DiodeTransistor")
 def diode_transistor(
     tech: Technology,
     w: float,
@@ -127,6 +130,7 @@ def diode_transistor(
     return obj
 
 
+@provenance_entity("StackedTransistor")
 def stacked_transistor(
     tech: Technology,
     w: float,

@@ -31,6 +31,17 @@ sink catalogue, the per-layer instrumentation map and the Perfetto how-to.
 """
 
 from .logsetup import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .provenance import (
+    Provenance,
+    ProvenanceRecorder,
+    StageSnapshot,
+    builtin_call,
+    format_provenance,
+    get_recorder,
+    provenance_entity,
+    recording,
+    set_recorder,
+)
 from .sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -40,6 +51,9 @@ from .sinks import (
     validate_chrome_trace,
 )
 from .tracer import SpanRecord, Tracer, activate, get_tracer, set_tracer, traced
+
+# NOTE: repro.obs.report is deliberately not imported here — it depends on
+# repro.drc (which itself imports repro.obs); access it as repro.obs.report.
 
 __all__ = [
     "Tracer",
@@ -57,4 +71,13 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "ROOT_LOGGER_NAME",
+    "Provenance",
+    "ProvenanceRecorder",
+    "StageSnapshot",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "provenance_entity",
+    "builtin_call",
+    "format_provenance",
 ]

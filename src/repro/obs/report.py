@@ -1,0 +1,517 @@
+"""DRC explainability and the self-contained HTML run report.
+
+Two layers on top of the provenance recorder:
+
+* :func:`explain_violations` upgrades raw DRC :class:`~repro.drc.violations.
+  Violation` records into :class:`Explanation` objects: the rule text in the
+  technology-file format, a plain-language gloss of the rule family, the
+  provenance chain of every involved rect, the Fig. 1 overlap-case id for
+  latch-up violations, and a nearest-legal suggestion where one is
+  computable (e.g. how far apart two rects must move).
+* :func:`render_report` / :func:`write_report` emit a single-file HTML run
+  report: overview metrics, one layout SVG per recorded compaction stage,
+  the final layout with violation overlays and provenance tooltips, the
+  violation/explanation table, the optimizer trial table, and the tracer's
+  stats table.
+
+This module deliberately is **not** imported by ``repro.obs.__init__`` — it
+depends on ``repro.drc``, which itself imports ``repro.obs``; access it as
+``repro.obs.report``.  The CLI's ``repro explain`` and ``repro report``
+subcommands are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html import escape
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..db import LayoutObject
+from ..drc import Violation, run_drc, temporary_rectangles
+from ..geometry import Rect, overlap_classification
+from ..io import render_svg
+from .provenance import ProvenanceRecorder, format_provenance
+
+__all__ = [
+    "Explanation",
+    "explain_violations",
+    "render_report",
+    "write_report",
+]
+
+#: Plain-language meaning of each violation kind (the "why is this a rule"
+#: half of the explanation; the rule text is the "what does it demand" half).
+_KIND_GLOSS: Dict[str, str] = {
+    "width": (
+        "Every drawn shape must meet the layer's minimum width (cuts must be"
+        " exactly their fixed size) or it cannot be manufactured reliably."
+    ),
+    "spacing": (
+        "Distinct shapes must keep the technology's minimum separation or"
+        " they risk merging/shorting during fabrication."
+    ),
+    "enclosure": (
+        "A cut must be covered by conducting material on both of the layers"
+        " it connects, with the rule's enclosure margin."
+    ),
+    "extension": (
+        "A device layer must extend past the layer it crosses (gate endcaps,"
+        " source/drain areas) or the device is malformed."
+    ),
+    "area": (
+        "A merged shape must meet the layer's minimum area to survive"
+        " lithography."
+    ),
+    "short": (
+        "One electrically merged shape carries more than one net — the"
+        " layout connects nets that must stay separate."
+    ),
+    "latchup": (
+        "Active area farther from a substrate contact than the latch-up rule"
+        " allows (Fig. 1's temporary-rectangle examination) can trigger the"
+        " parasitic thyristor."
+    ),
+}
+
+#: Fig. 1 axis-case names, index 0..3 (see geometry.overlap_classification).
+_AXIS_CASE = ("covers", "covers-low", "covers-high", "interior")
+
+
+@dataclass
+class Explanation:
+    """One DRC violation with everything needed to act on it."""
+
+    violation: Violation
+    #: The governing rule in the technology-file format, e.g.
+    #: ``SPACE metal1 metal1 600`` (empty when no single rule applies).
+    rule_text: str
+    #: Plain-language meaning of the rule family.
+    gloss: str
+    #: ``(rect, provenance chain)`` for every rect the checker flagged.
+    provenances: List[Tuple[Rect, str]] = field(default_factory=list)
+    #: Nearest-legal fix where one is computable.
+    suggestion: Optional[str] = None
+    #: Fig. 1 ``(horizontal, vertical)`` overlap case for latch-up.
+    latchup_case: Optional[Tuple[int, int]] = None
+
+    def format(self) -> str:
+        """Multi-line human rendering (what ``repro explain`` prints)."""
+        lines = [str(self.violation)]
+        if self.rule_text:
+            lines.append(f"  rule: {self.rule_text}")
+        lines.append(f"  why: {self.gloss}")
+        if self.latchup_case is not None:
+            h, v = self.latchup_case
+            lines.append(
+                f"  overlap case: ({h},{v}) —"
+                f" horizontal {_AXIS_CASE[h]}, vertical {_AXIS_CASE[v]}"
+            )
+        for index, (rect, chain) in enumerate(self.provenances):
+            lines.append(f"  rect[{index}] {rect!r}")
+            lines.append(f"    from: {chain}")
+        if self.suggestion:
+            lines.append(f"  fix: {self.suggestion}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# rule text reconstruction
+# ---------------------------------------------------------------------------
+def _rule_text(obj: LayoutObject, violation: Violation) -> str:
+    rules = obj.tech.rules
+    kind = violation.kind
+    rects = violation.rects
+    if kind == "width" and rects:
+        layer = rects[0].layer
+        cut = rules.cut_size(layer)
+        if cut is not None:
+            return f"CUTSIZE {layer} {cut}"
+        value = rules.width(layer)
+        return f"WIDTH {layer} {value}" if value is not None else ""
+    if kind == "spacing" and len(rects) >= 2:
+        a, b = rects[0].layer, rects[1].layer
+        value = obj.tech.min_space(a, b)
+        return f"SPACE {a} {b} {value}" if value is not None else ""
+    if kind == "enclosure" and rects:
+        layer = rects[0].layer
+        parts = []
+        for outer in sorted(rules.enclosing_layers(layer)):
+            value = rules.enclose(outer, layer)
+            parts.append(f"ENCLOSE {outer} {layer} {value}")
+        return "; ".join(parts)
+    if kind == "extension" and len(rects) >= 2:
+        gate, body = rects[0].layer, rects[1].layer
+        parts = []
+        for a, b in ((gate, body), (body, gate)):
+            value = rules.extend(a, b)
+            if value is not None:
+                parts.append(f"EXTEND {a} {b} {value}")
+        return "; ".join(parts)
+    if kind == "area" and rects:
+        layer = rects[0].layer
+        value = rules.area(layer)
+        return f"AREA {layer} {value}" if value is not None else ""
+    if kind == "latchup":
+        for contact, value in (
+            pair for rule, pair in rules.iter_rules() if rule == "LATCHUP"
+        ):
+            return f"LATCHUP {contact} {value}"
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# nearest-legal suggestions
+# ---------------------------------------------------------------------------
+def _suggestion(obj: LayoutObject, violation: Violation) -> Optional[str]:
+    rules = obj.tech.rules
+    kind = violation.kind
+    rects = violation.rects
+    if kind == "spacing" and len(rects) >= 2:
+        a, b = rects[0], rects[1]
+        rule = obj.tech.min_space(a.layer, b.layer)
+        if rule is None:
+            return None
+        gap = a.distance(b)
+        need = rule - gap
+        if need <= 0:
+            return None
+        return (
+            f"move the shapes at least {need} dbu further apart"
+            f" (gap {gap} dbu, nearest legal spacing {rule} dbu)"
+        )
+    if kind == "width" and rects:
+        layer = rects[0].layer
+        if rules.cut_size(layer) is not None:
+            return f"redraw the cut as a {rules.cut_size(layer)} dbu square"
+        rule = rules.width(layer)
+        if rule is None:
+            return None
+        need = rule - rects[0].short_side()
+        if need <= 0:
+            return None
+        return f"widen the shape by {need} dbu to reach the {rule} dbu minimum"
+    if kind == "latchup":
+        for contact, value in (
+            pair for rule, pair in rules.iter_rules() if rule == "LATCHUP"
+        ):
+            return (
+                f"place a {contact} contact within {value} dbu of this area"
+                " (drc.insert_protection_contacts can do it automatically)"
+            )
+    if kind == "enclosure" and rects:
+        return "cover the cut with plates on both connected layers"
+    if kind == "short":
+        return "separate the shapes or unify their net assignment"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# latch-up overlap-case identification
+# ---------------------------------------------------------------------------
+def _latchup_case(
+    obj: LayoutObject, violation: Violation, contact_layer: str = "subcontact"
+) -> Optional[Tuple[int, int]]:
+    """Fig. 1 case of the nearest protection rectangle, if any reaches.
+
+    The violation rects are *remainders* after subtraction, so by
+    construction they overlap no temporary rectangle; the case id describes
+    how the nearest temporary rectangle cut the original active solid.
+    Returns ``None`` when no temporary rectangle overlaps that solid at all
+    (the area is completely unprotected).
+    """
+    if not violation.rects:
+        return None
+    if (
+        not obj.tech.has_layer(contact_layer)
+        or obj.tech.rules.latchup(contact_layer) is None
+    ):
+        return None
+    remainder = violation.rects[0]
+    solid = next(
+        (
+            rect
+            for rect in obj.rects_on(remainder.layer)
+            if rect.contains(remainder)
+        ),
+        None,
+    )
+    if solid is None:
+        return None
+    best: Optional[Tuple[int, Tuple[int, int]]] = None
+    for temp in temporary_rectangles(obj, contact_layer):
+        try:
+            case = overlap_classification(solid, temp)
+        except ValueError:
+            continue
+        distance = remainder.distance(temp)
+        if best is None or distance < best[0]:
+            best = (distance, case)
+    return best[1] if best is not None else None
+
+
+def explain_violations(
+    obj: LayoutObject, violations: Optional[Sequence[Violation]] = None
+) -> List[Explanation]:
+    """Explain *violations* (running the full DRC when none are given)."""
+    if violations is None:
+        violations = run_drc(obj)
+    explanations: List[Explanation] = []
+    for violation in violations:
+        explanations.append(
+            Explanation(
+                violation=violation,
+                rule_text=_rule_text(obj, violation),
+                gloss=_KIND_GLOSS.get(violation.kind, ""),
+                provenances=[
+                    (rect, format_provenance(rect.prov))
+                    for rect in violation.rects
+                ],
+                suggestion=_suggestion(obj, violation),
+                latchup_case=(
+                    _latchup_case(obj, violation)
+                    if violation.kind == "latchup"
+                    else None
+                ),
+            )
+        )
+    return explanations
+
+
+# ---------------------------------------------------------------------------
+# HTML run report
+# ---------------------------------------------------------------------------
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 70em; color: #222; }
+h1, h2 { border-bottom: 1px solid #ccc; padding-bottom: .2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: .3em .6em; text-align: left;
+         vertical-align: top; font-size: .9em; }
+th { background: #f0f0f0; }
+.stage { display: inline-block; margin: .4em; text-align: center;
+         vertical-align: top; }
+.stage svg { border: 1px solid #ddd; background: white; }
+.stage .cap { font-size: .75em; color: #555; max-width: 16em; }
+.ok { color: #070; } .bad { color: #b00; }
+pre { background: #f6f6f6; padding: .6em; overflow-x: auto; font-size: .85em; }
+.prov { font-family: monospace; font-size: .85em; }
+"""
+
+#: Maximum stage thumbnails in the gallery (evenly sampled beyond this).
+_MAX_STAGES = 48
+
+
+def _auto_scale(obj: LayoutObject, target_px: float = 860.0) -> float:
+    """A scale that fits the object's width into roughly *target_px*."""
+    box = obj.bbox()
+    if box is None or box.width <= 0:
+        return 0.02
+    return min(0.02, target_px / (box.width + 4000))
+
+
+def _sample(stages: Sequence[Any], limit: int) -> List[Any]:
+    if len(stages) <= limit:
+        return list(stages)
+    step = (len(stages) - 1) / (limit - 1)
+    picked = [stages[round(i * step)] for i in range(limit)]
+    # De-duplicate while keeping order (rounding can repeat an index).
+    seen: set = set()
+    unique = []
+    for stage in picked:
+        if id(stage) not in seen:
+            seen.add(id(stage))
+            unique.append(stage)
+    return unique
+
+
+def _coverage(obj: LayoutObject) -> Tuple[int, int]:
+    """(rects with a non-empty entity stack, total non-empty rects)."""
+    total = 0
+    covered = 0
+    for rect in obj.nonempty_rects:
+        total += 1
+        if rect.prov is not None and rect.prov.entities:
+            covered += 1
+    return covered, total
+
+
+def _prov_tooltip(rect: Rect) -> Optional[str]:
+    return None if rect.prov is None else rect.prov.describe()
+
+
+def render_report(
+    obj: LayoutObject,
+    recorder: Optional[ProvenanceRecorder] = None,
+    violations: Optional[Sequence[Violation]] = None,
+    stats_table: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the self-contained HTML run report for *obj*.
+
+    ``recorder`` supplies the compaction-stage gallery and optimizer trial
+    table; ``violations`` defaults to a fresh full DRC run; ``stats_table``
+    is the tracer's :meth:`~repro.obs.sinks.StatsSink.format_table` output.
+    """
+    if violations is None:
+        violations = run_drc(obj)
+    explanations = explain_violations(obj, violations)
+    scale = _auto_scale(obj)
+    covered, total = _coverage(obj)
+    box = obj.bbox()
+    dbu = obj.tech.dbu_per_micron
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html><head><meta charset="utf-8">',
+        f"<title>{escape(title or obj.name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title or f'Run report: {obj.name}')}</h1>",
+    ]
+
+    # ---- overview -----------------------------------------------------
+    parts.append("<h2>Overview</h2><table>")
+    rows = [
+        ("object", obj.name),
+        ("technology", obj.tech.name),
+        (
+            "dimensions",
+            f"{obj.width} × {obj.height} dbu"
+            f" ({obj.width / dbu:.2f} × {obj.height / dbu:.2f} µm)"
+            if box is not None
+            else "(empty)",
+        ),
+        ("rectangles", str(len(obj.nonempty_rects))),
+        ("nets", str(len(obj.nets()))),
+        (
+            "provenance coverage",
+            f"{covered}/{total} rects with a non-empty entity stack",
+        ),
+        (
+            "violations",
+            f'<span class="{"bad" if violations else "ok"}">'
+            f"{len(violations)}</span>",
+        ),
+    ]
+    for key, value in rows:
+        parts.append(f"<tr><th>{escape(key)}</th><td>{value}</td></tr>")
+    parts.append("</table>")
+
+    # ---- compaction stages --------------------------------------------
+    stages = list(recorder.stages) if recorder is not None else []
+    if stages:
+        parts.append(f"<h2>Compaction stages ({len(stages)} recorded)</h2>")
+        shown = _sample(stages, _MAX_STAGES)
+        if len(shown) < len(stages) or recorder.stages_dropped:
+            note = f"showing {len(shown)} of {len(stages)}"
+            if recorder.stages_dropped:
+                note += (
+                    f"; {recorder.stages_dropped} further stage(s) not"
+                    " recorded (stage limit)"
+                )
+            parts.append(f"<p>{escape(note)}</p>")
+        for stage in shown:
+            thumb = render_svg(
+                stage.obj, scale=_auto_scale(stage.obj, 220.0),
+                show_labels=False,
+            )
+            meta = ", ".join(f"{k}={v}" for k, v in stage.meta.items())
+            parts.append(
+                '<div class="stage">'
+                + thumb
+                + f'<div class="cap">{escape(stage.label)}'
+                + (f"<br>{escape(meta)}" if meta else "")
+                + "</div></div>"
+            )
+
+    # ---- final layout -------------------------------------------------
+    parts.append("<h2>Final layout</h2>")
+    highlights = [
+        (rect, f"[{e.violation.kind}] {e.violation.message}")
+        for e in explanations
+        for rect in e.violation.rects
+        if not rect.is_empty
+    ]
+    parts.append(
+        render_svg(
+            obj, scale=scale, tooltip_extra=_prov_tooltip,
+            highlights=highlights,
+        )
+    )
+    parts.append(
+        "<p>Hover rects for layer/net and provenance; dashed red outlines"
+        " mark DRC violations.</p>"
+    )
+
+    # ---- violations ---------------------------------------------------
+    parts.append("<h2>Violations</h2>")
+    if not explanations:
+        parts.append('<p class="ok">DRC clean: no violations.</p>')
+    else:
+        parts.append(
+            "<table><tr><th>#</th><th>kind</th><th>message</th><th>rule</th>"
+            "<th>provenance</th><th>suggested fix</th></tr>"
+        )
+        for index, explanation in enumerate(explanations):
+            violation = explanation.violation
+            chains = "<br>".join(
+                f'<span class="prov">{escape(chain)}</span>'
+                for _, chain in explanation.provenances
+            )
+            extra = ""
+            if explanation.latchup_case is not None:
+                h, v = explanation.latchup_case
+                extra = f" (overlap case {h},{v})"
+            parts.append(
+                f"<tr><td>{index}</td><td>{escape(violation.kind)}</td>"
+                f"<td>{escape(violation.message)}{escape(extra)}"
+                f" @ {violation.where}</td>"
+                f"<td>{escape(explanation.rule_text)}</td>"
+                f"<td>{chains}</td>"
+                f"<td>{escape(explanation.suggestion or '')}</td></tr>"
+            )
+        parts.append("</table>")
+
+    # ---- optimizer trials ---------------------------------------------
+    trials = list(recorder.trials) if recorder is not None else []
+    if trials:
+        parts.append(f"<h2>Optimizer trials ({len(trials)})</h2>")
+        columns = sorted({key for trial in trials for key in trial})
+        # Keep a stable, readable column order.
+        preferred = ["engine", "sequence", "order", "score", "best"]
+        columns = [c for c in preferred if c in columns] + [
+            c for c in columns if c not in preferred
+        ]
+        parts.append(
+            "<table><tr>"
+            + "".join(f"<th>{escape(c)}</th>" for c in columns)
+            + "</tr>"
+        )
+        for trial in trials:
+            parts.append(
+                "<tr>"
+                + "".join(
+                    f"<td>{escape(str(trial.get(c, '')))}</td>" for c in columns
+                )
+                + "</tr>"
+            )
+        parts.append("</table>")
+
+    # ---- tracer stats -------------------------------------------------
+    if stats_table:
+        parts.append("<h2>Tracer statistics</h2>")
+        parts.append(f"<pre>{escape(stats_table)}</pre>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(
+    obj: LayoutObject,
+    path: Union[str, Path],
+    **kwargs: Any,
+) -> Path:
+    """Render and write the HTML run report; returns the path."""
+    target = Path(path)
+    target.write_text(render_report(obj, **kwargs), encoding="utf-8")
+    return target

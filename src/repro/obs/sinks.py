@@ -40,6 +40,9 @@ __all__ = [
 class Sink:
     """No-op base sink; subclass and override what you need."""
 
+    def on_span_start(self, name: str) -> None:
+        """A span began (its matching :meth:`on_span` may never arrive)."""
+
     def on_span(self, record: "SpanRecord") -> None:
         """A span finished."""
 
@@ -233,10 +236,20 @@ class ChromeTraceSink(Sink):
         self._counter_totals: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._spans_begun = 0
+        self._spans_ended = 0
+        #: Begin/end imbalance observed at :meth:`close` (0 = balanced).
+        #: A positive value means that many spans never finished — their
+        #: "X" events are missing from the written trace.
+        self.unbalanced_spans = 0
 
     @staticmethod
     def _category(name: str) -> str:
         return name.split(".", 1)[0]
+
+    def on_span_start(self, name: str) -> None:
+        with self._lock:
+            self._spans_begun += 1
 
     def on_span(self, record: "SpanRecord") -> None:
         event = {
@@ -251,6 +264,7 @@ class ChromeTraceSink(Sink):
         if record.attrs:
             event["args"] = {key: str(value) for key, value in record.attrs.items()}
         with self._lock:
+            self._spans_ended += 1
             self.events.append(event)
 
     def on_count(self, name: str, n: int, ts_ns: int) -> None:
@@ -320,6 +334,20 @@ class ChromeTraceSink(Sink):
         if self._closed:
             return
         self._closed = True
+        with self._lock:
+            self.unbalanced_spans = self._spans_begun - self._spans_ended
+        if self.unbalanced_spans:
+            from .logsetup import get_logger
+
+            get_logger("obs").warning(
+                "chrome trace %s: span begin/end imbalance of %d"
+                " (%d begun, %d ended) — the written trace is missing"
+                " events for spans that never finished",
+                self.path if self.path is not None else "(unwritten)",
+                self.unbalanced_spans,
+                self._spans_begun,
+                self._spans_ended,
+            )
         if self.path is not None:
             self.write()
 

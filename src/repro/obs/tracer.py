@@ -108,6 +108,8 @@ class _Span:
         stack = self._tracer._stack()
         self._depth = len(stack)
         stack.append(self)
+        for sink in self._tracer.sinks:
+            sink.on_span_start(self.name)
         self._start_ns = time.perf_counter_ns() - self._tracer.epoch_ns
         return self
 

@@ -13,10 +13,12 @@ from typing import List, Optional
 
 from ..db import ArrayLink, LayoutObject
 from ..geometry import Axis, Rect
+from ..obs.provenance import builtin_call
 from ..tech import RuleError
 from .util import enclosure_margin, expand_outers
 
 
+@builtin_call("ARRAY")
 def array(
     obj: LayoutObject,
     layer: str,
@@ -58,6 +60,7 @@ def array(
 
     link.rebuild()
     assert link.rects, "ARRAY expansion must yield at least one cut"
+    link.stamp_provenance()
     for rect in link.rects:
         obj.rects.append(rect)
     obj.add_link(link)

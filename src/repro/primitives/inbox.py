@@ -16,10 +16,12 @@ from typing import Optional
 
 from ..db import InsideLink, LayoutObject
 from ..geometry import Axis, Direction, Rect
+from ..obs.provenance import builtin_call
 from ..tech import RuleError
 from .util import default_extent, enclosure_margin, expand_outers, inner_region
 
 
+@builtin_call("INBOX")
 def inbox(
     obj: LayoutObject,
     layer: str,

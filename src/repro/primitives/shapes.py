@@ -19,10 +19,12 @@ from typing import List, Optional, Tuple
 
 from ..db import LayoutObject
 from ..geometry import Rect, bounding_box
+from ..obs.provenance import builtin_call
 from ..tech import RuleError
 from .util import enclosure_margin
 
 
+@builtin_call("TWORECTS")
 def tworects(
     obj: LayoutObject,
     gate_layer: str,
@@ -66,6 +68,7 @@ def tworects(
     return gate, body
 
 
+@builtin_call("AROUND")
 def around(
     obj: LayoutObject,
     layer: str,
@@ -93,6 +96,7 @@ def around(
     return obj.add_rect(rect)
 
 
+@builtin_call("RING")
 def ring(
     obj: LayoutObject,
     layer: str,
@@ -129,6 +133,7 @@ def ring(
     return [south, north, west, east]
 
 
+@builtin_call("ADAPTOR")
 def angle_adaptor(
     obj: LayoutObject,
     h_layer: str,

@@ -11,12 +11,14 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..db import LayoutObject
 from ..geometry import Point, Rect
+from ..obs.provenance import builtin_call
 from ..primitives import angle_adaptor
 from ..tech import RuleError
 
 Coordinate = Tuple[int, int]
 
 
+@builtin_call("WIRE")
 def wire(
     obj: LayoutObject,
     layer: str,
@@ -73,6 +75,7 @@ def path(
     return rects
 
 
+@builtin_call("VIA")
 def via_stack(
     obj: LayoutObject,
     x: int,

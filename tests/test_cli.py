@@ -142,3 +142,50 @@ def test_rc_no_nets(tmp_path, capsys):
     dump.write_text(dumps_object(obj))
     assert main(["rc", str(dump)]) == 0
     assert "no labelled nets" in capsys.readouterr().out
+
+
+def test_explain_clean_cell(capsys):
+    assert main(["explain", "guarded_transistor"]) == 0
+    assert "DRC clean" in capsys.readouterr().out
+
+
+def test_explain_latchup_violations(capsys):
+    # A bare transistor legitimately fails the latch-up rule (Fig. 1).
+    assert main(["explain", "mos_transistor"]) == 1
+    out = capsys.readouterr().out
+    assert "LATCHUP subcontact" in out
+    assert "from: MosTransistor" in out
+    assert "fix:" in out
+
+
+def test_explain_json_output(capsys):
+    import json
+
+    assert main(["explain", "mos_transistor", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and payload[0]["kind"] == "latchup"
+    assert payload[0]["rects"][0]["provenance"].startswith("MosTransistor")
+
+
+def test_explain_unknown_cell():
+    with pytest.raises(SystemExit):
+        main(["explain", "bogus_cell"])
+
+
+def test_report_command_writes_html(tmp_path, capsys):
+    out = tmp_path / "report.html"
+    assert main(["report", "mos_transistor", "-o", str(out)]) == 0
+    html = out.read_text(encoding="utf-8")
+    assert "<svg" in html and "</html>" in html
+    assert "provenance coverage" in html
+    assert "report →" in capsys.readouterr().out
+
+
+def test_report_restores_process_recorder(tmp_path):
+    from repro.obs import get_recorder
+
+    before = get_recorder()
+    assert main(["report", "mos_transistor", "-o",
+                 str(tmp_path / "r.html")]) == 0
+    assert get_recorder() is before
+    assert not get_recorder().enabled

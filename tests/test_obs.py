@@ -234,6 +234,48 @@ def test_chrome_trace_sink_valid(tmp_path):
     assert all(e["cat"] == "compact" for e in x_events)
 
 
+@pytest.fixture
+def obs_log_records():
+    """Records emitted on the repro.obs logger (propagation-independent:
+    the CLI's configure_logging turns propagation off for the suite)."""
+    records = []
+    handler = logging.Handler(level=logging.WARNING)
+    handler.emit = records.append
+    logger = logging.getLogger("repro.obs")
+    logger.addHandler(handler)
+    yield records
+    logger.removeHandler(handler)
+
+
+def test_chrome_trace_sink_balanced_run_stays_quiet(tmp_path, obs_log_records):
+    path = tmp_path / "trace.json"
+    tracer = Tracer(enabled=True)
+    sink = tracer.add_sink(ChromeTraceSink(path))
+    with tracer.span("compact.step"):
+        pass
+    tracer.close()
+    assert sink.unbalanced_spans == 0
+    assert obs_log_records == []
+
+
+def test_chrome_trace_sink_warns_on_unfinished_spans(tmp_path, obs_log_records):
+    """A span still open at close leaves the trace incomplete — say so."""
+    path = tmp_path / "trace.json"
+    tracer = Tracer(enabled=True)
+    sink = tracer.add_sink(ChromeTraceSink(path))
+    with tracer.span("compact.outer"):
+        tracer.span("compact.leaked").__enter__()  # never exits
+    tracer.close()
+    assert sink.unbalanced_spans == 1
+    messages = [r.getMessage() for r in obs_log_records]
+    assert any("imbalance of 1" in m for m in messages)
+    # The trace is still written and valid — just missing the leaked span.
+    data = json.loads(path.read_text())
+    assert validate_chrome_trace(data) == []
+    names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+    assert names == {"compact.outer"}
+
+
 def test_validate_chrome_trace_rejects_garbage():
     assert validate_chrome_trace({"no": "events"})
     assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]})  # missing keys

@@ -1,10 +1,13 @@
 """Successive compaction (Sec. 2.3)."""
 
 from .compactor import MAX_SHRINK_ROUNDS, CompactionResult, Compactor
+from .index import FrontierIndex, LayerBucket
 from .separation import (
     PairConstraint,
+    bridge_profile,
     frontier_filter,
     gather_constraints,
+    gather_constraints_grouped,
     overlap_forbidden,
     pair_travel,
     required_spacing,
@@ -14,9 +17,13 @@ __all__ = [
     "MAX_SHRINK_ROUNDS",
     "CompactionResult",
     "Compactor",
+    "FrontierIndex",
+    "LayerBucket",
     "PairConstraint",
+    "bridge_profile",
     "frontier_filter",
     "gather_constraints",
+    "gather_constraints_grouped",
     "overlap_forbidden",
     "pair_travel",
     "required_spacing",

@@ -24,13 +24,16 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..db import LayoutObject
-from ..geometry import Direction, Rect
+from ..geometry import Axis, Direction, Rect
 from ..obs import get_logger, get_tracer
 from ..obs.provenance import get_recorder
 from .separation import (
     PairConstraint,
+    _pair_profile,
+    bridge_profile,
     frontier_filter,
     gather_constraints,
+    gather_constraints_grouped,
     pair_travel,
     required_spacing,
 )
@@ -58,6 +61,13 @@ class Compactor:
     ``variable_edges`` switches the Fig. 5b optimization; ``auto_connect``
     switches the Fig. 5a same-potential connection; ``use_frontier`` enables
     the outer-edge pruning speed-up.  All default on, matching the paper.
+
+    ``use_index`` routes the hot scans (frontier pruning, candidate
+    gathering, auto-connect resident lookup, bridge blocking) through the
+    persistent per-object :class:`~repro.compact.index.FrontierIndex`
+    instead of per-step rebuilds.  Results are identical either way — the
+    differential harness races both modes — so the flag exists for that
+    comparison and as an escape hatch, not as a semantic switch.
     """
 
     def __init__(
@@ -65,10 +75,12 @@ class Compactor:
         variable_edges: bool = True,
         auto_connect: bool = True,
         use_frontier: bool = True,
+        use_index: bool = True,
     ) -> None:
         self.variable_edges = variable_edges
         self.auto_connect = auto_connect
         self.use_frontier = use_frontier
+        self.use_index = use_index
         #: Lifetime count of :meth:`compact` invocations.  The search-tree
         #: order optimizer is specified as "one compaction per distinct
         #: order prefix"; tests and benchmarks assert against this counter.
@@ -208,19 +220,106 @@ class Compactor:
         direction: Direction,
         ignore: Tuple[str, ...],
     ) -> List[PairConstraint]:
+        moving = obj.nonempty_rects
+        tracer = get_tracer()
+        if self.use_frontier and self.use_index:
+            index = main.frontier_index()
+            arrival_nets = frozenset(
+                rect.net for rect in moving if rect.net is not None
+            )
+            groups = index.frontier_groups(direction, arrival_nets)
+            survivors = sum(len(rects) for _, rects in groups)
+            tracer.count("compact.frontier_dropped", index.nonempty - survivors)
+            groups = self._prune_window(
+                main.tech, moving, groups, direction, ignore, tracer
+            )
+            constraints = gather_constraints_grouped(
+                main.tech, moving, groups, direction, ignore
+            )
+            tracer.count("compact.constraints", len(constraints))
+            return constraints
         fixed = main.nonempty_rects
         if self.use_frontier:
             arrival_nets = frozenset(
-                rect.net for rect in obj.nonempty_rects if rect.net is not None
+                rect.net for rect in moving if rect.net is not None
             )
             before = len(fixed)
             fixed = frontier_filter(fixed, direction, arrival_nets)
-            get_tracer().count("compact.frontier_dropped", before - len(fixed))
+            tracer.count("compact.frontier_dropped", before - len(fixed))
         constraints = gather_constraints(
-            main.tech, obj.nonempty_rects, fixed, direction, ignore
+            main.tech, moving, fixed, direction, ignore
         )
-        get_tracer().count("compact.constraints", len(constraints))
+        tracer.count("compact.constraints", len(constraints))
         return constraints
+
+    @staticmethod
+    def _prune_window(
+        tech,
+        moving: Sequence[Rect],
+        groups: List[Tuple[str, List[Rect]]],
+        direction: Direction,
+        ignore: Tuple[str, ...],
+        tracer,
+    ) -> List[Tuple[str, List[Rect]]]:
+        """Drop frontier rects the arriving object cannot reach sideways.
+
+        A pair only constrains motion when the perpendicular spans, grown by
+        the pair's spacing, overlap.  With ``[lo, hi]`` the union of the
+        moving rects' perpendicular spans and ``S`` the largest spacing any
+        moving layer carries against the fixed layer, a fixed rect whose span
+        fails ``lo - S < r2 and r1 - S < hi`` fails the overlap test for
+        every moving rect (each span sits inside ``[lo, hi]``, each spacing
+        is at most ``S``), so dropping it cannot change any constraint —
+        and surviving rects keep their frontier order, preserving the naive
+        loop's pair ordering exactly.
+        """
+        perp = direction.axis.other
+        lo = hi = None
+        moving_layers = set()
+        for rect in moving:
+            if rect.layer in ignore or rect.is_empty:
+                continue
+            m1, m2 = rect.span(perp)
+            if lo is None or m1 < lo:
+                lo = m1
+            if hi is None or m2 > hi:
+                hi = m2
+            moving_layers.add(rect.layer)
+        if lo is None:
+            tracer.count(
+                "compact.index_window_dropped",
+                sum(len(rects) for _, rects in groups),
+            )
+            return []
+        dropped = 0
+        pruned: List[Tuple[str, List[Rect]]] = []
+        horizontal = perp is Axis.HORIZONTAL
+        for flayer, frects in groups:
+            if flayer in ignore:
+                continue  # gather skips the whole group anyway
+            margin = None
+            for mlayer in moving_layers:
+                profile = _pair_profile(tech, mlayer, flayer)
+                if profile is None:
+                    continue
+                spacing = profile[0] or 0
+                if margin is None or spacing > margin:
+                    margin = spacing
+            if margin is None:
+                # No moving layer can constrain against this fixed layer.
+                dropped += len(frects)
+                continue
+            wlo = lo - margin
+            whi = hi + margin
+            if horizontal:
+                keep = [r for r in frects if wlo < r.x2 and r.x1 < whi]
+            else:
+                keep = [r for r in frects if wlo < r.y2 and r.y1 < whi]
+            dropped += len(frects) - len(keep)
+            if keep:
+                pruned.append((flayer, keep))
+        tracer.count("compact.index_window_dropped", dropped)
+        return pruned
 
     def _fallback_travel(
         self, main: LayoutObject, obj: LayoutObject, direction: Direction
@@ -384,11 +483,26 @@ class Compactor:
         """
         new_ids = set(map(id, new_rects))
         # Bucket residents by (net, layer) once: only same-net same-layer
-        # pairs can connect, so the arrival loop skips everything else.
+        # pairs can connect, so the arrival loop skips everything else.  The
+        # index already keeps those buckets; fetch (and filter, at this same
+        # pre-loop moment) only the keys the arrivals will ask for.
+        index = main.frontier_index() if self.use_index else None
         residents: dict = {}
-        for rect in main.nonempty_rects:
-            if id(rect) not in new_ids and rect.net is not None:
-                residents.setdefault((rect.net, rect.layer), []).append(rect)
+        if index is not None:
+            for rect in new_rects:
+                if rect.net is None or rect.is_empty:
+                    continue
+                key = (rect.net, rect.layer)
+                if key not in residents:
+                    residents[key] = [
+                        r
+                        for r in index.residents(*key)
+                        if not r.is_empty and id(r) not in new_ids
+                    ]
+        else:
+            for rect in main.nonempty_rects:
+                if id(rect) not in new_ids and rect.net is not None:
+                    residents.setdefault((rect.net, rect.layer), []).append(rect)
         connected = 0
         perp = direction.axis.other
         sign = 1 if direction.is_positive else -1
@@ -415,7 +529,14 @@ class Compactor:
                 if gap <= 0:
                     continue  # already touching or overlapping
                 bridge = self._bridge_rect(arrival, resident, direction)
-                if bridge is None or self._bridge_blocked(main, bridge, arrival.net):
+                if bridge is None:
+                    continue
+                blocked = (
+                    index.bridge_blocked(bridge, arrival.net)
+                    if index is not None
+                    else self._bridge_blocked(main, bridge, arrival.net)
+                )
+                if blocked:
                     continue
                 main.move_stretch(resident, direction.opposite, lead)
                 if resident.prov is not None and arrival.prov is not None:
@@ -449,25 +570,23 @@ class Compactor:
 
         Checked against every foreign-net rect: same-layer spacing (shorts),
         cross-layer spacing, and EXTEND relationships — a poly bridge must
-        never cross diffusion (it would create a transistor).
+        never cross diffusion (it would create a transistor).  The per-rect
+        rule questions are hoisted to one memoized :func:`bridge_profile`
+        lookup per layer pair.  (The indexed path answers this through
+        :meth:`FrontierIndex.bridge_blocked`, which additionally skips whole
+        layers by bucket envelope.)
         """
         tech = main.tech
-        rules = tech.rules
+        bridge_layer = bridge.layer
         for rect in main.nonempty_rects:
-            if rect.net == net and tech.connectable(rect.layer, bridge.layer):
+            profile = bridge_profile(tech, bridge_layer, rect.layer)
+            if profile is None:
+                continue  # no spacing rule, no device rule: cannot block
+            connect, spacing, forms_device = profile
+            if connect and rect.net == net:
                 continue
-            if rect.layer == bridge.layer:
-                spacing = tech.min_space(bridge.layer, bridge.layer) or 0
-                if bridge.grown(spacing).intersects(rect):
-                    return True
-                continue
-            forms_device = (
-                rules.extend(bridge.layer, rect.layer) is not None
-                or rules.extend(rect.layer, bridge.layer) is not None
-            )
             if forms_device and bridge.intersects(rect):
                 return True
-            spacing = tech.min_space(bridge.layer, rect.layer)
             if spacing is not None and bridge.grown(spacing).intersects(rect):
                 return True
         return False

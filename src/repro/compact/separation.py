@@ -131,14 +131,65 @@ def _pair_profile(
     ``None`` means the layer pair can never constrain motion — no spacing rule
     exists and the pair is not both-conducting, so the *no_overlap* fallback
     can never apply either, whatever the rects' nets and flags say.
+
+    Memoized on the technology's version-stamped query cache, so the answer
+    survives across compaction steps and invalidates itself on rule edits.
     """
-    rule = tech.min_space(moving_layer, fixed_layer)
-    conducting = (
-        tech.layer(moving_layer).conducting and tech.layer(fixed_layer).conducting
-    )
-    if rule is None and not conducting:
-        return None
-    return (rule, tech.connectable(moving_layer, fixed_layer), conducting)
+    cache = tech.query_cache()
+    key = ("pair_profile", moving_layer, fixed_layer)
+    profile = cache.get(key, _MISSING)
+    if profile is _MISSING:
+        rule = tech.min_space(moving_layer, fixed_layer)
+        conducting = (
+            tech.layer(moving_layer).conducting
+            and tech.layer(fixed_layer).conducting
+        )
+        if rule is None and not conducting:
+            profile = None
+        else:
+            profile = (rule, tech.connectable(moving_layer, fixed_layer),
+                       conducting)
+        cache[key] = profile
+    return profile
+
+
+def bridge_profile(
+    tech: Technology, bridge_layer: str, other_layer: str
+) -> Optional[Tuple[bool, Optional[int], bool]]:
+    """Auto-connect bridge-blocking profile: (connectable, spacing, device).
+
+    Everything :meth:`Compactor._bridge_blocked` asks the rule tables per
+    rect, hoisted to one memoized lookup per layer pair: whether same-net
+    rects are skippable (connectable), the spacing a grown probe must keep
+    (same-layer pairs default to 0 = "may touch, not overlap"), and whether
+    overlap would form a device (an EXTEND relationship either way — a poly
+    bridge must never cross diffusion).  ``None`` means rects on
+    *other_layer* can never block a *bridge_layer* stretch.
+    """
+    cache = tech.query_cache()
+    key = ("bridge_profile", bridge_layer, other_layer)
+    profile = cache.get(key, _MISSING)
+    if profile is _MISSING:
+        if other_layer == bridge_layer:
+            spacing = tech.min_space(bridge_layer, bridge_layer) or 0
+            profile = (True, spacing, False)
+        else:
+            rules = tech.rules
+            forms_device = (
+                rules.extend(bridge_layer, other_layer) is not None
+                or rules.extend(other_layer, bridge_layer) is not None
+            )
+            spacing = tech.min_space(bridge_layer, other_layer)
+            if spacing is None and not forms_device:
+                profile = None
+            else:
+                profile = (
+                    tech.connectable(other_layer, bridge_layer),
+                    spacing,
+                    forms_device,
+                )
+        cache[key] = profile
+    return profile
 
 
 def gather_constraints(
@@ -217,6 +268,73 @@ def gather_constraints(
                 continue
             travel = (fixed.edge_coord(facing) - lead) * sign - spacing
             constraints.append(PairConstraint(moving, fixed, spacing, travel))
+    get_tracer().count("compact.pairs_scanned", pairs_scanned)
+    return constraints
+
+
+def gather_constraints_grouped(
+    tech: Technology,
+    moving_rects: Sequence[Rect],
+    fixed_groups: Sequence[Tuple[str, Sequence[Rect]]],
+    direction: Direction,
+    ignore_layers: Iterable[str] = (),
+) -> List[PairConstraint]:
+    """:func:`gather_constraints` over layer-grouped fixed rects.
+
+    *fixed_groups* is ``[(layer, rects), ...]`` — the shape the frontier
+    index serves.  The result is identical (same constraints, same order) to
+    calling :func:`gather_constraints` on the concatenation of the groups:
+    the naive rows per moving layer are that concatenation filtered by the
+    layer-pair profile, i.e. whole groups kept or skipped in sequence.
+    Skipping happens per *group* here, so a moving rect never iterates
+    rects on layers that cannot constrain it.  Group members must be
+    non-empty (the frontier sweep guarantees this).
+    """
+    ignore = frozenset(ignore_layers)
+    constraints: List[PairConstraint] = []
+    if not moving_rects or not fixed_groups:
+        return constraints
+
+    perp = direction.axis.other
+    facing = direction.opposite
+    sign = 1 if direction.is_positive else -1
+
+    profiles: Dict[Tuple[str, str], object] = {}
+    pairs_scanned = 0
+    for moving in moving_rects:
+        mlayer = moving.layer
+        if mlayer in ignore or moving.is_empty:
+            continue
+        net = moving.net
+        no_overlap = moving.no_overlap
+        lead = moving.edge_coord(direction)
+        m1, m2 = moving.span(perp)
+        for flayer, frects in fixed_groups:
+            if flayer in ignore or not frects:
+                continue
+            profile = profiles.get((mlayer, flayer), _MISSING)
+            if profile is _MISSING:
+                profile = _pair_profile(tech, mlayer, flayer)
+                profiles[(mlayer, flayer)] = profile
+            if profile is None:
+                continue
+            rule, connect, conducting = profile
+            pairs_scanned += len(frects)
+            for fixed in frects:
+                if net is not None and net == fixed.net and connect:
+                    continue
+                if rule is not None:
+                    spacing = rule
+                elif conducting and (no_overlap or fixed.no_overlap):
+                    spacing = 0
+                else:
+                    continue
+                margin = spacing if spacing > 0 else 0
+                b1, b2 = fixed.span(perp)
+                if not (m1 - margin < b2 and b1 - margin < m2):
+                    continue
+                travel = (fixed.edge_coord(facing) - lead) * sign - spacing
+                constraints.append(PairConstraint(moving, fixed, spacing, travel))
     get_tracer().count("compact.pairs_scanned", pairs_scanned)
     return constraints
 

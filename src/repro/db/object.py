@@ -45,6 +45,43 @@ class LayoutObject:
         self.rects: List[Rect] = []
         self.links: List[Link] = []
         self.labels: List[Label] = []
+        #: Lazily built incremental spatial index (compact.index).  Never
+        #: affects results — only how fast the compactor finds them.
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # spatial index
+    # ------------------------------------------------------------------
+    def frontier_index(self):
+        """The object's incremental frontier index, built/synced on demand.
+
+        Appends since the last query are folded in incrementally; a
+        replaced rect list or an explicit :meth:`invalidate_index` triggers
+        a full rebuild.  See :class:`repro.compact.index.FrontierIndex`.
+        """
+        if self._index is None:
+            from ..compact.index import FrontierIndex
+
+            self._index = FrontierIndex(self)
+        self._index.sync()
+        return self._index
+
+    def invalidate_index(self) -> None:
+        """Force a full index rebuild on the next query.
+
+        Required after mutating rect coordinates, nets, layers or
+        ``no_overlap`` flags directly instead of through this object's
+        methods.
+        """
+        if self._index is not None:
+            self._index.mark_dirty()
+
+    def __getstate__(self):
+        # The index maps rects by id(); ids do not survive pickling (the
+        # parallel order optimizer ships step objects to worker processes).
+        state = self.__dict__.copy()
+        state["_index"] = None
+        return state
 
     # ------------------------------------------------------------------
     # construction
@@ -115,6 +152,17 @@ class LayoutObject:
         clone.rects = rects
         clone.links = [link.remapped(mapping) for link in self.links]
         clone.labels = [label.copy() for label in self.labels]
+        # Carry the spatial index (with its warm frontier caches) across the
+        # snapshot: rect positions are preserved, so the clone's index is
+        # this one with every rect reference remapped.  The search-tree
+        # optimizer snapshots one layout per visited order prefix; without
+        # this the clone would re-sweep every layer on its first step.
+        index = self._index
+        clone._index = (
+            index.clone_into(clone, mapping)
+            if index is not None and index.in_sync()
+            else None
+        )
         return clone
 
     # ------------------------------------------------------------------
@@ -180,6 +228,9 @@ class LayoutObject:
         for label in self.labels:
             label.x += dx
             label.y += dy
+        if self._index is not None:
+            # A uniform shift preserves every sorted order and sweep result.
+            self._index.note_translate(dx, dy)
         return self
 
     def apply_transform(self, transform: Transform) -> "LayoutObject":
@@ -193,6 +244,7 @@ class LayoutObject:
             rect._edges = image._edges
         for label in self.labels:
             label.x, label.y = transform.apply_point(label.x, label.y)
+        self.invalidate_index()
         return self
 
     def mirror_x(self, axis_y: int = 0) -> "LayoutObject":
@@ -215,6 +267,7 @@ class LayoutObject:
         for rect in self.rects:
             if layer is None or rect.layer == layer:
                 rect.net = net
+        self.invalidate_index()
         return self
 
     def rename_nets(self, mapping: Dict[str, str]) -> "LayoutObject":
@@ -230,6 +283,7 @@ class LayoutObject:
             net = getattr(link, "net", None)
             if net in mapping:
                 link.net = mapping[net]
+        self.invalidate_index()
         return self
 
     # ------------------------------------------------------------------
@@ -309,7 +363,7 @@ class LayoutObject:
             coord = min(coord, limit)
             coord = max(coord, rect.edge_coord(direction))
         rect.set_edge_coord(direction, coord)
-        self.rebuild_links()
+        self._rebuild_links_tracked(rect)
         return coord
 
     def move_stretch(self, rect: Rect, direction: Direction, coord: int) -> None:
@@ -327,17 +381,49 @@ class LayoutObject:
             if isinstance(link, InsideLink) and link.inner is rect:
                 link.release(direction)
         rect.set_edge_coord(direction, coord)
-        self.rebuild_links()
+        self._rebuild_links_tracked(rect)
 
     def rebuild_links(self) -> None:
-        """Re-solve every link to a fixpoint (bounded passes)."""
+        """Re-solve every link to a fixpoint (bounded passes).
+
+        Callers typically mutated rect coordinates directly beforehand
+        (primitive construction), so any live index is conservatively
+        invalidated; the compactor's edge moves go through the tracked
+        variant instead, which updates the index precisely.
+        """
+        self._solve_links()
+        self.invalidate_index()
+
+    def _rebuild_links_tracked(self, moved: Rect) -> None:
+        """Re-solve links after an edge move, keeping the index current."""
+        if self._index is None:
+            self._solve_links()
+            return
+        changed = self._solve_links(collect=True)
+        changed.add(id(moved))
+        self._index.note_changed_ids(changed)
+
+    def _solve_links(self, collect: bool = False) -> Optional[Set[int]]:
+        """Fixpoint link solve; optionally return ids of rects that moved."""
+        changed: Optional[Set[int]] = set() if collect else None
         for _ in range(len(self.links) + 2):
-            before = [r.as_tuple() for link in self.links for r in link.involved_rects()]
+            before = {}
+            for link in self.links:
+                for r in link.involved_rects():
+                    before[id(r)] = r.as_tuple()
             for link in self.links:
                 link.rebuild()
-            after = [r.as_tuple() for link in self.links for r in link.involved_rects()]
-            if before == after:
+            stable = True
+            for link in self.links:
+                for r in link.involved_rects():
+                    rid = id(r)
+                    if before.get(rid) != r.as_tuple():
+                        stable = False
+                        if changed is not None:
+                            changed.add(rid)
+            if stable:
                 break
+        return changed
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

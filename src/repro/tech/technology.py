@@ -48,6 +48,16 @@ class Technology:
             self._query_stamp = stamp
         return self._query_cache
 
+    def query_cache(self) -> Dict[Tuple, object]:
+        """The version-stamped memo table for derived rule queries.
+
+        Callers computing pure functions of the rule tables (the compactor's
+        layer-pair profiles, for instance) may park results here under their
+        own key tuples; the table clears itself whenever the rules or the
+        connectivity declarations change.
+        """
+        return self._queries()
+
     # ------------------------------------------------------------------
     # units
     # ------------------------------------------------------------------

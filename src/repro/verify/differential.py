@@ -10,6 +10,11 @@ sets run through both :class:`repro.compact.Compactor` and
   no_overlap respected, bbox bounded);
 * both merge the same nets (identical net partitions);
 * the bounding-box areas agree within a stated bound.
+
+Each trial additionally races the successive compactor against itself with
+the frontier index switched off: the indexed and unindexed modes must
+produce *byte-identical* geometry (same rects, same order, same flags) with
+every feature enabled — variable edges, auto-connect, frontier pruning.
 """
 
 from __future__ import annotations
@@ -175,7 +180,44 @@ def run_trial(
             f"bbox areas diverge beyond {area_bound}×:"
             f" successive={areas[0]} graph={areas[1]}"
         )
+
+    report.problems.extend(_race_index_modes(tech, objects, direction))
     return report
+
+
+def _rect_signature(obj: LayoutObject) -> List[Tuple]:
+    """Order-sensitive content signature: any divergence shows up here."""
+    return [
+        (r.x1, r.y1, r.x2, r.y2, r.layer, r.net, r.no_overlap)
+        for r in obj.rects
+    ]
+
+
+def _race_index_modes(
+    tech: Technology, objects: Sequence[LayoutObject], direction: Direction
+) -> List[str]:
+    """Indexed vs unindexed successive compaction must match byte for byte.
+
+    Runs with every feature on (variable edges, auto-connect, frontier
+    pruning) so the incremental index is exercised through merges, stretches
+    and shrinks — the exact mutations it tracks incrementally.
+    """
+    results = []
+    for use_index in (False, True):
+        main = LayoutObject("main", tech)
+        compactor = Compactor(use_index=use_index)
+        for obj in objects:
+            compactor.compact(main, obj.copy(), direction)
+        results.append(_rect_signature(main))
+    if results[0] != results[1]:
+        diverging = sum(1 for a, b in zip(*results) if a != b) + abs(
+            len(results[0]) - len(results[1])
+        )
+        return [
+            "indexed compactor diverges from unindexed"
+            f" ({diverging} rect(s) differ)"
+        ]
+    return []
 
 
 def run_differential(

@@ -104,7 +104,7 @@ def _pack_row(tech, objects, use_index):
     return main
 
 
-def test_frontier_index_speedup(tech, record, benchmark):
+def test_frontier_index_speedup(tech, record, benchmark, ledger_append):
     report = {"smoke": SMOKE, "stretch_factor": STRETCH}
     lines = ["T-INDEX — incremental frontier index, off vs on:"]
 
@@ -185,6 +185,7 @@ def test_frontier_index_speedup(tech, record, benchmark):
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     record("t_frontier_index", lines)
+    ledger_append("BENCH_compact", report)
 
     if not SMOKE:
         # Acceptance: >= 5x compact_s at the stretched size, identical output.

@@ -51,6 +51,8 @@ REPS = 1 if SMOKE else 3
 MAX_DISABLED_OVERHEAD_PCT = 2.0
 #: Acceptance threshold for the disabled-provenance overhead estimate.
 MAX_DISABLED_PROV_OVERHEAD_PCT = 1.0
+#: Acceptance threshold for the opted-out run-ledger overhead estimate.
+MAX_DISABLED_LEDGER_OVERHEAD_PCT = 1.0
 
 
 def _workload(tech):
@@ -94,7 +96,27 @@ def _disabled_prov_check_ns(loops=200_000):
     return (time.perf_counter_ns() - start) / loops
 
 
-def test_obs_overhead(tech, record):
+def _disabled_ledger_check_ns(loops=200_000):
+    """Per-call cost of the one ``ledger_enabled()`` check an opted-out
+    CLI command pays (REPRO_LEDGER=0: the whole ledger reduces to this)."""
+    from repro.obs.ledger import ledger_enabled
+
+    previous = os.environ.get("REPRO_LEDGER")
+    os.environ["REPRO_LEDGER"] = "0"  # price the opted-out path itself
+    try:
+        assert not ledger_enabled()
+        start = time.perf_counter_ns()
+        for _ in range(loops):
+            ledger_enabled()
+        return (time.perf_counter_ns() - start) / loops
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_LEDGER", None)
+        else:
+            os.environ["REPRO_LEDGER"] = previous
+
+
+def test_obs_overhead(tech, record, ledger_append):
     # Tracer disabled: the production default.
     disabled_s, report = _best_of(REPS, _workload, tech)
     assert report.drc_violations == 0
@@ -133,6 +155,12 @@ def test_obs_overhead(tech, record):
         100.0 * (prov_sites * prov_check_ns) / (disabled_s * 1e9)
     )
 
+    # Run ledger: an opted-out CLI command pays exactly one env check.
+    ledger_check_ns = _disabled_ledger_check_ns()
+    est_disabled_ledger_overhead_pct = (
+        100.0 * ledger_check_ns / (disabled_s * 1e9)
+    )
+
     report_json = {
         "workload": "Sec. 3 amplifier build + measure (DRC included)",
         "smoke": SMOKE,
@@ -148,6 +176,9 @@ def test_obs_overhead(tech, record):
         "disabled_prov_check_ns": prov_check_ns,
         "est_disabled_prov_overhead_pct": est_disabled_prov_overhead_pct,
         "max_disabled_prov_overhead_pct": MAX_DISABLED_PROV_OVERHEAD_PCT,
+        "disabled_ledger_check_ns": ledger_check_ns,
+        "est_disabled_ledger_overhead_pct": est_disabled_ledger_overhead_pct,
+        "max_disabled_ledger_overhead_pct": MAX_DISABLED_LEDGER_OVERHEAD_PCT,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_obs.json").write_text(
@@ -168,7 +199,12 @@ def test_obs_overhead(tech, record):
         f" → {est_disabled_prov_overhead_pct:.3f}% estimated disabled"
         " provenance overhead"
         f" (acceptance: < {MAX_DISABLED_PROV_OVERHEAD_PCT}%)",
+        f"  1 opted-out ledger check × {ledger_check_ns:.0f} ns"
+        f" → {est_disabled_ledger_overhead_pct:.6f}% estimated disabled"
+        " ledger overhead"
+        f" (acceptance: < {MAX_DISABLED_LEDGER_OVERHEAD_PCT}%)",
     ])
+    ledger_append("BENCH_obs", report_json, wall_s=disabled_s)
 
     assert est_disabled_overhead_pct < MAX_DISABLED_OVERHEAD_PCT, (
         f"disabled-tracer overhead {est_disabled_overhead_pct:.2f}% exceeds"
@@ -177,4 +213,8 @@ def test_obs_overhead(tech, record):
     assert est_disabled_prov_overhead_pct < MAX_DISABLED_PROV_OVERHEAD_PCT, (
         f"disabled-provenance overhead {est_disabled_prov_overhead_pct:.2f}%"
         f" exceeds {MAX_DISABLED_PROV_OVERHEAD_PCT}%"
+    )
+    assert est_disabled_ledger_overhead_pct < MAX_DISABLED_LEDGER_OVERHEAD_PCT, (
+        f"opted-out ledger overhead {est_disabled_ledger_overhead_pct:.4f}%"
+        f" exceeds {MAX_DISABLED_LEDGER_OVERHEAD_PCT}%"
     )

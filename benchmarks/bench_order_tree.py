@@ -94,7 +94,7 @@ def _timed(optimize, name, tech, steps):
     return wall, result, stages
 
 
-def test_order_tree_scaling(tech, record):
+def test_order_tree_scaling(tech, record, ledger_append):
     sizes = range(4, 6) if SMOKE else range(4, 9)
     report = {"module": "heterogeneous device row", "smoke": SMOKE, "sizes": {}}
     lines = ["T-TREE — order-search engines, one compact per distinct prefix:"]
@@ -187,6 +187,7 @@ def test_order_tree_scaling(tech, record):
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
     record("t_order_tree", lines)
+    ledger_append("BENCH_optimizer", report)
 
     if not SMOKE and headline is not None:
         # Acceptance: >= 3x over replay at n=7 with identical best order.

@@ -1,0 +1,63 @@
+"""T-PROFILE — sampled wall-clock profile of the amplifier build.
+
+Runs the Sec. 3 amplifier build + measurement under the zero-dependency
+sampling profiler (``repro.obs.SamplingProfiler``) and records the
+top-functions table to ``benchmarks/results/t_profile_amplifier.txt``.
+This is the repository's standing answer to "where does the time go?": the
+table pins the current hotspot ranking (connectivity extraction leads — see
+ROADMAP's compaction open item) so later optimisation PRs can diff against
+it.  The folded stacks land next to the table for flamegraph tooling.
+
+Acceptance: the profiler must actually catch the known hotspot —
+``repro.db.nets.extract_connectivity`` appears in the sampled frames.
+
+Run ``BENCH_SMOKE=1 pytest benchmarks/bench_profile_amplifier.py`` for the
+CI variant (identical workload; one build is already only a few seconds).
+"""
+
+import time
+from pathlib import Path
+
+from repro.amplifier import build_amplifier, measure_amplifier
+from repro.obs import SamplingProfiler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Sampling period — 2 ms gives ~2000 samples on a ~4 s workload.
+INTERVAL_S = 0.002
+
+
+def test_profile_amplifier(tech, record, ledger_append):
+    profiler = SamplingProfiler(interval_s=INTERVAL_S)
+    profiler.start()
+    start = time.perf_counter()
+    try:
+        amp = build_amplifier(tech)
+        report = measure_amplifier(amp)
+    finally:
+        profiler.stop()
+    wall_s = time.perf_counter() - start
+    assert report.drc_violations == 0
+
+    folded = profiler.folded()
+    assert profiler.sample_count > 50, "workload too fast to profile?"
+    assert "extract_connectivity" in folded, (
+        "the known hotspot never appeared in the sampled stacks"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    profiler.write_folded(RESULTS_DIR / "t_profile_amplifier.folded")
+
+    table = profiler.top_table(top=15)
+    record("t_profile_amplifier", [
+        "T-PROFILE — sampled profile of amplifier build + measure:",
+        *("  " + line for line in table.splitlines()),
+        "folded stacks: benchmarks/results/t_profile_amplifier.folded",
+        "(load in speedscope.app or flamegraph.pl; `repro --profile` makes",
+        "the same artifact for any command)",
+    ])
+    ledger_append("BENCH_profile", {
+        "wall_s": wall_s,
+        "samples": profiler.sample_count,
+        "interval_ms": INTERVAL_S * 1e3,
+    }, wall_s=wall_s)

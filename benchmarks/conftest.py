@@ -21,6 +21,38 @@ def tech():
 
 
 @pytest.fixture(scope="session")
+def ledger_append():
+    """Append one benchmark report to the run ledger (command ``bench:<stem>``).
+
+    Pairs with ``repro perf check --baseline benchmarks/results``: the
+    committed BENCH_*.json files load under the same ``bench:<stem>``
+    command keys, so fresh bench runs diff directly against them.  Respects
+    REPRO_LEDGER=0 and never fails the benchmark it records.
+    """
+    from repro.obs.ledger import (
+        Ledger, RunRecord, current_git_sha, flatten_metrics, ledger_enabled,
+        peak_rss_kb, resolve_ledger_dir,
+    )
+
+    def _append(stem, payload, wall_s=None):
+        if not ledger_enabled():
+            return
+        try:
+            record = RunRecord(
+                f"bench:{stem}", kind="bench", argv=["benchmarks", stem],
+                tech="generic_bicmos_1u", git_sha=current_git_sha(),
+                status=0, wall_s=wall_s, peak_rss_kb=peak_rss_kb(),
+                metrics=flatten_metrics(payload),
+            )
+            with Ledger(resolve_ledger_dir()) as ledger:
+                ledger.try_append(record)
+        except Exception:  # a broken ledger must never fail a bench
+            pass
+
+    return _append
+
+
+@pytest.fixture(scope="session")
 def record():
     """Write one experiment's report lines to benchmarks/results/<name>.txt."""
     RESULTS_DIR.mkdir(exist_ok=True)

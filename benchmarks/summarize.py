@@ -5,6 +5,11 @@ Run after ``pytest benchmarks/ --benchmark-only``:
 
     python benchmarks/summarize.py            # print to stdout
     python benchmarks/summarize.py -o report.txt
+
+Every ``results/*.txt`` report is discovered automatically — a new bench
+only has to ``record("name", lines)`` and it appears here.  ``PRIORITY``
+is presentation order only (paper figures first, in the paper's sequence);
+reports it does not name follow in sorted order, figures before claims.
 """
 
 from __future__ import annotations
@@ -15,8 +20,8 @@ from pathlib import Path
 
 RESULTS = Path(__file__).parent / "results"
 
-#: Presentation order: figures first, then in-text claims, then ablations.
-ORDER = [
+#: Presentation priority — never a gate: un-listed reports still appear.
+PRIORITY = [
     "f1_latchup_cases",
     "f1_latchup_flow",
     "f2_contact_row",
@@ -31,16 +36,31 @@ ORDER = [
     "f9_amplifier",
     "f10_module_e",
     "f10_symmetry",
-    "t_code_length",
-    "t_code_equivalence",
-    "t_compaction_speed",
-    "t_frontier_ablation",
-    "t_optimizer_orders",
-    "t_optimizer_beam",
-    "t_optimizer_anneal",
-    "t_optimizer_variants",
-    "t_variable_edges",
 ]
+
+
+def discover() -> list[str]:
+    """All report stems, priority figures first, then figures, then claims.
+
+    Discovery is the source of truth: every ``results/*.txt`` is included
+    exactly once.  ``PRIORITY`` only pins the paper-figure sequence;
+    everything else sorts within its group (``f*`` figures before the
+    ``t_*`` in-text claims/ablations before anything else).
+    """
+    stems = {p.stem for p in RESULTS.glob("*.txt")}
+    stems.discard("SUMMARY")  # this script's own -o output, if committed
+    ordered = [name for name in PRIORITY if name in stems]
+    rest = stems.difference(ordered)
+
+    def group(stem: str) -> int:
+        if stem.startswith("f"):
+            return 0
+        if stem.startswith("t_"):
+            return 1
+        return 2
+
+    ordered += sorted(rest, key=lambda stem: (group(stem), stem))
+    return ordered
 
 
 def summarize() -> str:
@@ -50,15 +70,7 @@ def summarize() -> str:
             "no results yet — run `pytest benchmarks/ --benchmark-only` first\n"
         )
     parts = ["REPRODUCTION SUMMARY — paper vs. measured", "=" * 60, ""]
-    seen = set()
-    names = [n for n in ORDER if (RESULTS / f"{n}.txt").exists()]
-    names += sorted(
-        p.stem for p in RESULTS.glob("*.txt") if p.stem not in ORDER
-    )
-    for name in names:
-        if name in seen:
-            continue
-        seen.add(name)
+    for name in discover():
         parts.append(f"--- {name} " + "-" * max(0, 50 - len(name)))
         parts.append((RESULTS / f"{name}.txt").read_text(encoding="utf-8"))
     return "\n".join(parts)

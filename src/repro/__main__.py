@@ -1,8 +1,16 @@
 """``python -m repro`` — the command-line interface."""
 
+import os
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro perf log | head` — downstream closed the pipe.  Re-point
+        # stdout at devnull so interpreter-shutdown flushing stays quiet,
+        # and exit with the conventional 128+SIGPIPE status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -16,17 +16,24 @@ stats           run any command under the tracer, print a profiling summary
 verify          golden-cell hashes, PLDL fuzzing, differential compaction
 explain         build a cell with provenance on and explain its DRC violations
 report          write the self-contained HTML run report for a cell
+perf            run-ledger history, diffs and perf-regression checks
 ==============  ==============================================================
 
 ``--trace out.json`` (before the command) records a Chrome trace-event
-profile of any command; ``-v``/``-q`` widen or silence diagnostics, which
-flow through the ``repro.*`` logging hierarchy.
+profile of any command; ``--profile out.folded`` samples wall-clock stacks
+into flamegraph/speedscope collapsed-stack output (``--profile-memory``
+swaps in the tracemalloc allocation profiler); ``-v``/``-q`` widen or
+silence diagnostics, which flow through the ``repro.*`` logging hierarchy.
+Every command appends one record (timings, peak RSS, tracer counters) to
+the run ledger under ``~/.cache/repro/ledger`` unless ``--no-ledger`` or
+``REPRO_LEDGER=0`` opts out; ``repro perf`` reads that history back.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -463,6 +470,45 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from .obs import regress
+    from .obs.ledger import Ledger
+
+    with Ledger(args.ledger) as ledger:
+        if args.perf_action == "log":
+            print(regress.perf_log(
+                ledger, limit=args.limit,
+                command=args.filter_command, kind=args.kind,
+            ))
+            return 0
+        if args.perf_action == "show":
+            print(regress.perf_show(ledger, args.run))
+            return 0
+        if args.perf_action == "diff":
+            print(regress.perf_diff(
+                ledger, args.run_a, args.run_b,
+                patterns=args.metric or ("*",),
+            ))
+            return 0
+        if args.perf_action == "baseline":
+            print(regress.perf_baseline(
+                ledger, args.name, command=args.filter_command, k=args.k,
+            ))
+            return 0
+        status, report = regress.perf_check(
+            ledger,
+            args.baseline,
+            commands=args.filter_command or None,
+            k=args.k,
+            rel=args.rel,
+            mads=args.mads,
+            floor=args.floor,
+            patterns=args.metric or regress.DEFAULT_TRACKED,
+        )
+        print(report)
+        return status
+
+
 # ---------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
@@ -474,6 +520,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="write a Chrome trace-event JSON of the command to PATH"
              " (open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="sample the command's stacks and write collapsed stacks to"
+             " PATH (flamegraph.pl / speedscope format); with --trace the"
+             " samples also overlay the span timeline",
+    )
+    parser.add_argument(
+        "--profile-interval", type=float, default=5.0, metavar="MS",
+        help="sampling period in milliseconds (default: 5)",
+    )
+    parser.add_argument(
+        "--profile-memory", action="store_true",
+        help="profile memory instead of time: tracemalloc allocation"
+             " tracebacks weighted in KiB",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=15, metavar="N",
+        help="rows in the printed top-functions table (default: 15)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="DIR",
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or"
+             " ~/.cache/repro/ledger)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the ledger (REPRO_LEDGER=0 does"
+             " the same globally)",
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -623,21 +698,126 @@ def build_parser() -> argparse.ArgumentParser:
              " summary table",
     )
     stats.add_argument(
+        "--sort", choices=["name", "total", "mean", "calls", "max"],
+        default="name",
+        help="span table order: by name (default) or descending"
+             " total/mean/calls/max time",
+    )
+    stats.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the first N spans and N largest counters",
+    )
+    stats.add_argument(
         "stats_argv", nargs=argparse.REMAINDER, metavar="command",
         help="the repro command to run, e.g. 'repro stats amplifier'",
     )
     stats.set_defaults(func=None)
+
+    perf = sub.add_parser(
+        "perf",
+        help="query the run ledger: history, diffs, baselines and"
+             " noise-aware regression checks",
+    )
+    psub = perf.add_subparsers(dest="perf_action", required=True)
+
+    # `--ledger` also works after the perf action (the natural position in
+    # scripts); SUPPRESS keeps the sub-level default from clobbering the
+    # root-level flag when the option is absent.
+    ledger_opt = argparse.ArgumentParser(add_help=False)
+    ledger_opt.add_argument(
+        "--ledger", metavar="DIR", default=argparse.SUPPRESS,
+        help="run-ledger directory (default: $REPRO_LEDGER_DIR or"
+             " ~/.cache/repro/ledger)",
+    )
+
+    plog = psub.add_parser("log", parents=[ledger_opt],
+                           help="list recorded runs, newest first")
+    plog.add_argument("-n", "--limit", type=int, default=20)
+    plog.add_argument("--command", dest="filter_command", default=None,
+                      help="only runs of one command (e.g. amplifier)")
+    plog.add_argument("--kind", default=None, choices=["cli", "bench"],
+                      help="only CLI or only benchmark records")
+    plog.set_defaults(func=cmd_perf)
+
+    pshow = psub.add_parser("show", parents=[ledger_opt],
+                            help="one run's full metric snapshot")
+    pshow.add_argument(
+        "run", nargs="?", default="last",
+        help="run id, 'last', 'last~N' or 'last:<command>' (default: last)",
+    )
+    pshow.set_defaults(func=cmd_perf)
+
+    pdiff = psub.add_parser(
+        "diff", parents=[ledger_opt],
+        help="compare two runs, or a run against a named baseline",
+    )
+    pdiff.add_argument("run_a", help="run reference or baseline name")
+    pdiff.add_argument("run_b", help="run reference or baseline name")
+    pdiff.add_argument(
+        "--metric", action="append", metavar="PATTERN",
+        help="fnmatch pattern(s) selecting metrics (default: all shared)",
+    )
+    pdiff.set_defaults(func=cmd_perf)
+
+    pcheck = psub.add_parser(
+        "check", parents=[ledger_opt],
+        help="exit non-zero when a tracked metric regresses beyond the"
+             " noise band (median-of-k vs baseline, MAD-aware)",
+    )
+    pcheck.add_argument(
+        "--baseline", required=True, metavar="NAME_OR_DIR",
+        help="a baseline saved with 'perf baseline', or a directory of"
+             " committed BENCH_*.json reports (e.g. benchmarks/results)",
+    )
+    pcheck.add_argument(
+        "--command", dest="filter_command", action="append", metavar="CMD",
+        help="restrict the check to these command(s)",
+    )
+    pcheck.add_argument("-k", type=int, default=3,
+                        help="fresh runs per command to take the median of"
+                             " (default: 3)")
+    pcheck.add_argument("--rel", type=float, default=0.25,
+                        help="relative tolerance for noisy (timing/RSS)"
+                             " metrics (default: 0.25)")
+    pcheck.add_argument("--mads", type=float, default=3.0,
+                        help="MAD multiplier widening the noise band"
+                             " (default: 3)")
+    pcheck.add_argument("--floor", type=float, default=0.0,
+                        help="absolute slack added to every band"
+                             " (default: 0 — counters must not grow at all)")
+    pcheck.add_argument(
+        "--metric", action="append", metavar="PATTERN",
+        help="fnmatch pattern(s) selecting tracked metrics (default:"
+             " timings, peak RSS, *compact_s, *pairs_scanned, overhead"
+             " estimates)",
+    )
+    pcheck.set_defaults(func=cmd_perf)
+
+    pbase = psub.add_parser(
+        "baseline", parents=[ledger_opt],
+        help="freeze the median/MAD of recent runs as a named baseline",
+    )
+    pbase.add_argument("name")
+    pbase.add_argument("--command", dest="filter_command", default=None,
+                       help="baseline only this command (default: every"
+                            " command in the ledger)")
+    pbase.add_argument("-k", type=int, default=5,
+                       help="runs per command to aggregate (default: 5)")
+    pbase.set_defaults(func=cmd_perf)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
+    from .obs.ledger import ledger_enabled
+
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(-1 if args.quiet else args.verbose)
 
     want_stats = args.command == "stats"
+    outer = args
     if want_stats:
         inner = list(args.stats_argv)
         if inner and inner[0] == "--":
@@ -645,34 +825,110 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not inner:
             parser.error("stats: expected a command to run, e.g. 'repro stats"
                          " amplifier'")
-        outer = args
         args = parser.parse_args(inner)
         if args.command == "stats":
             parser.error("stats: cannot be nested")
+        # Global flags compose: values given on either side of `stats` win
+        # over defaults.
         if outer.trace and not args.trace:
             args.trace = outer.trace
+        if outer.profile and not args.profile:
+            args.profile = outer.profile
+        if outer.ledger and not args.ledger:
+            args.ledger = outer.ledger
+        args.no_ledger = args.no_ledger or outer.no_ledger
+        args.profile_memory = args.profile_memory or outer.profile_memory
         configure_logging(-1 if (args.quiet or outer.quiet)
                           else max(args.verbose, outer.verbose))
 
-    if not want_stats and not args.trace:
+    # The ledger records every command except `perf` itself (reading the
+    # history should not grow it).
+    record_run = ledger_enabled(opt_out=args.no_ledger) and args.command != "perf"
+
+    if not (want_stats or args.trace or args.profile or record_run):
         return args.func(args)
 
     tracer = Tracer(enabled=True)
     stats_sink = StatsSink()
     tracer.add_sink(stats_sink)
+    chrome = None
     if args.trace:
-        tracer.add_sink(ChromeTraceSink(args.trace))
+        chrome = ChromeTraceSink(args.trace)
+        tracer.add_sink(chrome)
+    profiler = None
+    if args.profile:
+        from .obs import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            interval_s=args.profile_interval / 1000.0,
+            mode="memory" if args.profile_memory else "wall",
+            chrome_sink=chrome,
+            epoch_ns=tracer.epoch_ns,
+        )
     previous = set_tracer(tracer)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    status = 1
     try:
+        if profiler is not None:
+            profiler.start()
         status = args.func(args)
     finally:
+        wall_s = time.perf_counter() - wall_start
+        cpu_s = time.process_time() - cpu_start
+        if profiler is not None:
+            profiler.stop()
         set_tracer(previous)
         tracer.close()
         if args.trace:
             log.info("wrote trace %s", args.trace)
+        if profiler is not None:
+            profiler.write_folded(args.profile)
+            print(profiler.top_table(top=args.profile_top))
+            log.info("wrote profile %s (%d samples)", args.profile,
+                     profiler.sample_count)
         if want_stats:
-            print(stats_sink.format_table())
+            print(stats_sink.format_table(sort=outer.sort, top=outer.top))
+        if record_run:
+            _record_ledger_run(args, argv, status, wall_s, cpu_s,
+                               stats_sink, profiler)
     return status
+
+
+def _record_ledger_run(
+    args: argparse.Namespace,
+    argv: Optional[List[str]],
+    status: int,
+    wall_s: float,
+    cpu_s: float,
+    stats_sink: StatsSink,
+    profiler: Any,
+) -> None:
+    """Append one run record; a broken ledger only warns, never fails."""
+    from .obs.ledger import (
+        Ledger,
+        RunRecord,
+        current_git_sha,
+        peak_rss_kb,
+        snapshot_metrics,
+    )
+
+    metrics = snapshot_metrics(stats_sink)
+    if profiler is not None:
+        metrics["profile.samples"] = float(profiler.sample_count)
+    record = RunRecord(
+        args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        tech=getattr(args, "tech", None),
+        git_sha=current_git_sha(),
+        status=status if isinstance(status, int) else 1,
+        wall_s=wall_s,
+        cpu_s=cpu_s,
+        peak_rss_kb=peak_rss_kb(),
+        metrics=metrics,
+    )
+    with Ledger(args.ledger) as ledger:
+        ledger.try_append(record)
 
 
 if __name__ == "__main__":

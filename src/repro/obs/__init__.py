@@ -30,7 +30,18 @@ From the command line: ``repro --trace trace.json amplifier`` and
 sink catalogue, the per-layer instrumentation map and the Perfetto how-to.
 """
 
+from .ledger import (
+    Ledger,
+    RunRecord,
+    current_git_sha,
+    flatten_metrics,
+    ledger_enabled,
+    peak_rss_kb,
+    resolve_ledger_dir,
+    snapshot_metrics,
+)
 from .logsetup import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .profiler import SamplingProfiler
 from .provenance import (
     Provenance,
     ProvenanceRecorder,
@@ -54,6 +65,7 @@ from .tracer import SpanRecord, Tracer, activate, get_tracer, set_tracer, traced
 
 # NOTE: repro.obs.report is deliberately not imported here — it depends on
 # repro.drc (which itself imports repro.obs); access it as repro.obs.report.
+# repro.obs.regress (the `repro perf` engine) is likewise loaded on demand.
 
 __all__ = [
     "Tracer",
@@ -68,6 +80,15 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "validate_chrome_trace",
+    "SamplingProfiler",
+    "Ledger",
+    "RunRecord",
+    "ledger_enabled",
+    "resolve_ledger_dir",
+    "current_git_sha",
+    "flatten_metrics",
+    "snapshot_metrics",
+    "peak_rss_kb",
     "configure_logging",
     "get_logger",
     "ROOT_LOGGER_NAME",

@@ -1,0 +1,331 @@
+"""``repro perf``: history, comparison and regression checks over the ledger.
+
+Four verbs over the :mod:`repro.obs.ledger` store:
+
+* ``repro perf log`` — list recorded runs (newest first);
+* ``repro perf show <run>`` — one run's full metric snapshot;
+* ``repro perf diff <a> <b>`` — compare two runs, or a run against a
+  named baseline;
+* ``repro perf check --baseline <name-or-dir>`` — exit non-zero when a
+  tracked metric regresses beyond a noise-aware threshold.
+
+A run reference is a ledger row id (``17``), ``last`` (newest run),
+``last~2`` (two back), ``last:bench:BENCH_compact`` (newest run of one
+command) or a saved baseline name.  A *baseline* for ``check`` is either a
+name saved with ``repro perf baseline <name>`` (median-of-k with MAD per
+metric) or a directory of committed ``BENCH_*.json`` reports
+(``--baseline benchmarks/results``), whose flattened numeric leaves are
+matched against ledger runs recorded as ``bench:<stem>``.
+
+Noise policy: a metric regresses when its fresh median (over the last *k*
+runs) exceeds ``baseline_median + band`` with ``band = max(rel · median,
+mads · MAD, floor)``.  Timing-like metrics (suffixes ``_s``, ``_pct``,
+``_ns``, ``rss_kb``, ``_kib``) get the relative/MAD band; counter metrics
+are deterministic, so their band is just ``floor`` (default 0 — any
+increase fails, which is what the old one-off ``pairs_scanned`` CI guard
+enforced).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import statistics
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .ledger import BaselineStat, Ledger, RunRecord, flatten_metrics
+
+__all__ = [
+    "DEFAULT_TRACKED",
+    "is_noisy",
+    "allowed_band",
+    "load_baseline_dir",
+    "resolve_run",
+    "perf_log",
+    "perf_show",
+    "perf_diff",
+    "perf_check",
+    "perf_baseline",
+]
+
+#: Metric patterns checked by default: resource totals, the compactor's
+#: headline time/counter pair, and the observability overhead estimates.
+DEFAULT_TRACKED = (
+    "wall_s",
+    "cpu_s",
+    "peak_rss_kb",
+    "*compact_s",
+    "*pairs_scanned",
+    "*est_disabled*_pct",
+    "span.compact.step.total_s",
+)
+
+#: Suffixes of metrics subject to timer/allocator noise; everything else
+#: is treated as a deterministic counter.
+NOISY_SUFFIXES = ("_s", "_pct", "_ns", "rss_kb", "_kib")
+
+
+def is_noisy(metric: str) -> bool:
+    return metric.endswith(NOISY_SUFFIXES)
+
+
+def allowed_band(
+    metric: str, stat: BaselineStat, rel: float, mads: float, floor: float
+) -> float:
+    """How far above the baseline median a fresh median may sit."""
+    if not is_noisy(metric):
+        return floor
+    return max(rel * abs(stat.median), mads * stat.mad, floor)
+
+
+def _matches(metric: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatchcase(metric, pattern) for pattern in patterns)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+# ---------------------------------------------------------------------------
+def load_baseline_dir(path: Path) -> Dict[str, Dict[str, BaselineStat]]:
+    """Committed ``BENCH_*.json`` reports as a ``{command: metrics}`` baseline.
+
+    Each ``BENCH_<x>.json`` becomes the baseline for ledger command
+    ``bench:BENCH_<x>`` — the name the benchmark producers append under.
+    """
+    stats: Dict[str, Dict[str, BaselineStat]] = {}
+    for report in sorted(path.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(report.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        metrics = flatten_metrics(payload)
+        if metrics:
+            stats[f"bench:{report.stem}"] = {
+                name: BaselineStat(value, 0.0, 1)
+                for name, value in metrics.items()
+            }
+    return stats
+
+
+def resolve_run(ledger: Ledger, ref: str) -> RunRecord:
+    """A run reference (id, ``last``, ``last~N``, ``last:<command>[~N]``)."""
+    if ref.isdigit():
+        record = ledger.get(int(ref))
+        if record is None:
+            raise SystemExit(f"error: no ledger run #{ref}")
+        return record
+    if ref == "last" or ref.startswith(("last~", "last:")):
+        command: Optional[str] = None
+        offset = 0
+        spec = ref[4:]
+        if spec.startswith(":"):
+            spec = spec[1:]
+            if "~" in spec:
+                command, _, tail = spec.rpartition("~")
+                offset = int(tail)
+            else:
+                command = spec
+        elif spec.startswith("~"):
+            offset = int(spec[1:])
+        record = ledger.last(command=command, offset=offset)
+        if record is None:
+            raise SystemExit(f"error: no ledger run matching {ref!r}")
+        return record
+    raise SystemExit(
+        f"error: unknown run reference {ref!r} (expected a run id, 'last',"
+        " 'last~N', 'last:<command>' or a baseline name)"
+    )
+
+
+def _resolve_side(
+    ledger: Ledger, ref: str
+) -> Tuple[str, Dict[str, float]]:
+    """A diff side: a run reference or a saved baseline name."""
+    baseline = ledger.baseline(ref)
+    if baseline:
+        merged: Dict[str, float] = {}
+        for metrics in baseline.values():
+            for name, stat in metrics.items():
+                merged[name] = stat.median
+        return f"baseline {ref}", merged
+    record = resolve_run(ledger, ref)
+    return (
+        f"run #{record.rowid} {record.command} ({record.ts})",
+        record.all_metrics(),
+    )
+
+
+# ---------------------------------------------------------------------------
+def perf_log(
+    ledger: Ledger,
+    limit: int = 20,
+    command: Optional[str] = None,
+    kind: Optional[str] = None,
+) -> str:
+    records = ledger.runs(command=command, kind=kind, limit=limit)
+    if not records:
+        return f"(ledger at {ledger.root} has no matching runs)"
+    lines = [
+        f"{'id':>5} {'when':<20} {'kind':<6} {'command':<26} {'tech':<18}"
+        f" {'sha':<12} {'wall s':>9} {'rss MiB':>8}"
+    ]
+    for record in records:
+        rss = (f"{record.peak_rss_kb / 1024:.0f}"
+               if record.peak_rss_kb is not None else "—")
+        wall = f"{record.wall_s:.3f}" if record.wall_s is not None else "—"
+        lines.append(
+            f"{record.rowid:>5} {record.ts:<20} {record.kind:<6}"
+            f" {record.command:<26} {record.tech or '—':<18}"
+            f" {record.git_sha or '—':<12} {wall:>9} {rss:>8}"
+        )
+    return "\n".join(lines)
+
+
+def perf_show(ledger: Ledger, ref: str) -> str:
+    record = resolve_run(ledger, ref)
+    lines = [
+        f"run #{record.rowid}  {record.command}  ({record.kind})",
+        f"  when     {record.ts}",
+        f"  argv     {' '.join(record.argv) or '—'}",
+        f"  tech     {record.tech or '—'}",
+        f"  git      {record.git_sha or '—'}",
+        f"  status   {record.status}",
+    ]
+    metrics = record.all_metrics()
+    if metrics:
+        name_w = max(len(name) for name in metrics)
+        lines.append("  metrics:")
+        for name in sorted(metrics):
+            lines.append(f"    {name:<{name_w}} {_fmt(metrics[name]):>14}")
+    return "\n".join(lines)
+
+
+def perf_diff(
+    ledger: Ledger,
+    ref_a: str,
+    ref_b: str,
+    patterns: Sequence[str] = ("*",),
+) -> str:
+    label_a, metrics_a = _resolve_side(ledger, ref_a)
+    label_b, metrics_b = _resolve_side(ledger, ref_b)
+    shared = sorted(
+        name for name in metrics_a
+        if name in metrics_b and _matches(name, patterns)
+    )
+    lines = [f"A: {label_a}", f"B: {label_b}"]
+    if not shared:
+        lines.append("(no shared metrics)")
+        return "\n".join(lines)
+    name_w = max(max(len(name) for name in shared), len("metric"))
+    lines.append(
+        f"{'metric':<{name_w}} {'A':>14} {'B':>14} {'delta':>14} {'%':>8}"
+    )
+    for name in shared:
+        a, b = metrics_a[name], metrics_b[name]
+        delta = b - a
+        pct = f"{100.0 * delta / a:+.1f}%" if a else "—"
+        lines.append(
+            f"{name:<{name_w}} {_fmt(a):>14} {_fmt(b):>14}"
+            f" {_fmt(delta):>14} {pct:>8}"
+        )
+    only_a = sum(1 for name in metrics_a if name not in metrics_b)
+    only_b = sum(1 for name in metrics_b if name not in metrics_a)
+    if only_a or only_b:
+        lines.append(f"({only_a} metrics only in A, {only_b} only in B)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+def perf_check(
+    ledger: Ledger,
+    baseline_spec: str,
+    commands: Optional[Sequence[str]] = None,
+    k: int = 3,
+    rel: float = 0.25,
+    mads: float = 3.0,
+    floor: float = 0.0,
+    patterns: Sequence[str] = DEFAULT_TRACKED,
+) -> Tuple[int, str]:
+    """Compare fresh ledger medians against a baseline; ``(status, report)``.
+
+    Status 0 = clean, 1 = at least one regression, 2 = nothing comparable
+    (a misconfigured check must not pass silently).
+    """
+    baseline_path = Path(baseline_spec)
+    if baseline_path.is_dir():
+        baseline = load_baseline_dir(baseline_path)
+        source = f"directory {baseline_path}"
+    else:
+        baseline = ledger.baseline(baseline_spec)
+        source = f"saved baseline {baseline_spec!r}"
+    if not baseline:
+        return 2, f"error: baseline {baseline_spec!r} is empty or unknown"
+
+    if commands:
+        baseline = {cmd: baseline[cmd] for cmd in commands if cmd in baseline}
+        if not baseline:
+            return 2, (f"error: none of {list(commands)} appear in {source}")
+
+    lines = [f"perf check against {source} (k={k}, rel={rel:.0%},"
+             f" mads={mads:g}, floor={floor:g})"]
+    regressions = 0
+    compared = 0
+    for command in sorted(baseline):
+        window = ledger.runs(command=command, limit=k)
+        if not window:
+            lines.append(f"  {command}: no fresh runs in the ledger — skipped")
+            continue
+        fresh_samples: Dict[str, List[float]] = {}
+        for record in window:
+            for metric, value in record.all_metrics().items():
+                fresh_samples.setdefault(metric, []).append(value)
+        tracked = sorted(
+            metric for metric in baseline[command]
+            if metric in fresh_samples and _matches(metric, patterns)
+        )
+        if not tracked:
+            lines.append(f"  {command}: no tracked metrics in common")
+            continue
+        lines.append(f"  {command} ({len(window)} fresh run(s)):")
+        for metric in tracked:
+            stat = baseline[command][metric]
+            fresh = statistics.median(fresh_samples[metric])
+            band = allowed_band(metric, stat, rel, mads, floor)
+            compared += 1
+            delta = fresh - stat.median
+            pct = (f"{100.0 * delta / stat.median:+.1f}%"
+                   if stat.median else f"{delta:+g}")
+            if delta > band:
+                regressions += 1
+                verdict = "REGRESSED"
+            elif delta < -band and band > 0:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"    {metric:<42} {_fmt(stat.median):>14} ->"
+                f" {_fmt(fresh):>14}  {pct:>8}  [{verdict}]"
+            )
+    if compared == 0:
+        lines.append("error: nothing was compared — ledger runs or metric"
+                     " patterns do not match the baseline")
+        return 2, "\n".join(lines)
+    lines.append(
+        f"{compared} metric(s) checked, {regressions} regression(s)"
+    )
+    return (1 if regressions else 0), "\n".join(lines)
+
+
+def perf_baseline(
+    ledger: Ledger, name: str, command: Optional[str] = None, k: int = 5
+) -> str:
+    stats = ledger.save_baseline(name, command=command, k=k)
+    metric_count = sum(len(metrics) for metrics in stats.values())
+    return (f"baseline {name!r}: froze {metric_count} metrics across"
+            f" {len(stats)} command(s) (median of up to {k} runs)")

@@ -122,8 +122,30 @@ class StatsSink(Sink):
         """Current value of a counter (0 if never incremented)."""
         return self.counters.get(name, 0)
 
-    def format_table(self) -> str:
-        """The aligned summary table ``repro stats`` prints."""
+    #: ``format_table`` sort orders: a key on (name, SpanStats) per mode.
+    _SPAN_SORTS = {
+        "name": lambda item: item[0],
+        "total": lambda item: (-item[1].total_ns, item[0]),
+        "mean": lambda item: (-item[1].mean_ns, item[0]),
+        "calls": lambda item: (-item[1].calls, item[0]),
+        "max": lambda item: (-item[1].max_ns, item[0]),
+    }
+
+    def format_table(self, sort: str = "name", top: Optional[int] = None) -> str:
+        """The aligned summary table ``repro stats`` prints.
+
+        *sort* orders the span section by ``name`` (default), ``total``,
+        ``mean``, ``calls`` or ``max`` (descending); *top* keeps only the
+        first N spans and the N largest counters, with a trailing note for
+        what was elided — `repro stats --sort total --top 10` makes a
+        large trace readable.
+        """
+        try:
+            span_key = self._SPAN_SORTS[sort]
+        except KeyError:
+            raise ValueError(
+                f"unknown sort {sort!r} (one of {sorted(self._SPAN_SORTS)})"
+            ) from None
         lines: List[str] = []
         if self.spans:
             name_w = max(len(name) for name in self.spans)
@@ -132,22 +154,38 @@ class StatsSink(Sink):
                 f"{'span':<{name_w}} {'calls':>8} {'total ms':>10}"
                 f" {'mean ms':>10} {'max ms':>10}"
             )
-            for name in sorted(self.spans):
-                stats = self.spans[name]
+            ranked = sorted(self.spans.items(), key=span_key)
+            shown = ranked if top is None else ranked[:top]
+            for name, stats in shown:
                 lines.append(
                     f"{name:<{name_w}} {stats.calls:>8}"
                     f" {stats.total_ns / 1e6:>10.3f}"
                     f" {stats.mean_ns / 1e6:>10.4f}"
                     f" {stats.max_ns / 1e6:>10.3f}"
                 )
+            if len(shown) < len(ranked):
+                lines.append(f"… {len(ranked) - len(shown)} more spans")
         if self.counters:
             if lines:
                 lines.append("")
             name_w = max(len(name) for name in self.counters)
             name_w = max(name_w, len("counter"))
             lines.append(f"{'counter':<{name_w}} {'value':>12}")
-            for name in sorted(self.counters):
+            if sort == "name":
+                ranked_counters = sorted(self.counters)
+            else:
+                ranked_counters = sorted(
+                    self.counters, key=lambda name: (-self.counters[name], name)
+                )
+            shown_counters = (ranked_counters if top is None
+                              else ranked_counters[:top])
+            for name in shown_counters:
                 lines.append(f"{name:<{name_w}} {self.counters[name]:>12}")
+            if len(shown_counters) < len(ranked_counters):
+                lines.append(
+                    f"… {len(ranked_counters) - len(shown_counters)}"
+                    " more counters"
+                )
         if self.gauges:
             if lines:
                 lines.append("")
@@ -234,6 +272,9 @@ class ChromeTraceSink(Sink):
         self._pid = os.getpid()
         self._tid = threading.get_ident()
         self._counter_totals: Dict[str, int] = {}
+        #: Interned sampled-stack frames: (parent id, label) -> frame id.
+        self._frame_ids: Dict[Tuple[Optional[str], str], str] = {}
+        self._stack_frames: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
         self._closed = False
         self._spans_begun = 0
@@ -313,11 +354,61 @@ class ChromeTraceSink(Sink):
             self.events.append(event)
 
     # ------------------------------------------------------------------
+    def add_sample(
+        self,
+        ts_ns: int,
+        frames: Tuple[str, ...],
+        tid: Optional[int] = None,
+    ) -> None:
+        """Record one sampled stack (outermost frame first) as a ``P`` event.
+
+        Stacks are interned into the trace's global ``stackFrames`` table
+        (each frame holds a ``parent`` id), so a profile attached by
+        :class:`~repro.obs.profiler.SamplingProfiler` overlays the span
+        timeline in Perfetto without repeating whole stacks per sample.
+        """
+        if not frames:
+            return
+        with self._lock:
+            parent: Optional[str] = None
+            for label in frames:
+                key = (parent, label)
+                frame_id = self._frame_ids.get(key)
+                if frame_id is None:
+                    frame_id = str(len(self._frame_ids) + 1)
+                    self._frame_ids[key] = frame_id
+                    entry: Dict[str, Any] = {
+                        "name": label,
+                        "category": label.rsplit(".", 1)[0],
+                    }
+                    if parent is not None:
+                        entry["parent"] = parent
+                    self._stack_frames[frame_id] = entry
+                parent = frame_id
+            self.events.append(
+                {
+                    "name": "sample",
+                    "cat": "profile",
+                    "ph": "P",
+                    "ts": ts_ns / 1000.0,
+                    "pid": self._pid,
+                    "tid": tid if tid is not None else self._tid,
+                    "sf": parent,
+                }
+            )
+
+    # ------------------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
         """The trace as the Chrome trace-event object format."""
         with self._lock:
             events = sorted(self.events, key=lambda e: e["ts"])
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+            trace: Dict[str, Any] = {
+                "traceEvents": events,
+                "displayTimeUnit": "ms",
+            }
+            if self._stack_frames:
+                trace["stackFrames"] = dict(self._stack_frames)
+        return trace
 
     def write(self, path: Optional[Union[str, Path]] = None) -> Path:
         """Serialize the trace to *path* (default: the constructor path)."""
@@ -353,7 +444,9 @@ class ChromeTraceSink(Sink):
 
 
 # ---------------------------------------------------------------------------
-_VALID_PHASES = {"X", "B", "E", "C", "i", "I", "M", "b", "e", "n", "s", "t", "f"}
+_VALID_PHASES = {
+    "X", "B", "E", "C", "i", "I", "M", "b", "e", "n", "s", "t", "f", "P",
+}
 
 
 def validate_chrome_trace(data: Any) -> List[str]:
@@ -364,10 +457,24 @@ def validate_chrome_trace(data: Any) -> List[str]:
     trace is loadable by Perfetto / ``chrome://tracing``.
     """
     problems: List[str] = []
+    stack_frames: Optional[Dict[str, Any]] = None
     if isinstance(data, dict):
         events = data.get("traceEvents")
         if not isinstance(events, list):
             return ["top-level object lacks a 'traceEvents' list"]
+        frames = data.get("stackFrames")
+        if frames is not None:
+            if not isinstance(frames, dict):
+                return ["'stackFrames' must be an object"]
+            stack_frames = frames
+            for frame_id, frame in frames.items():
+                if not isinstance(frame, dict) or "name" not in frame:
+                    problems.append(f"stackFrames[{frame_id}]: missing 'name'")
+                elif "parent" in frame and str(frame["parent"]) not in frames:
+                    problems.append(
+                        f"stackFrames[{frame_id}]: dangling parent"
+                        f" {frame['parent']!r}"
+                    )
     elif isinstance(data, list):
         events = data
     else:
@@ -391,4 +498,8 @@ def validate_chrome_trace(data: Any) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: 'X' event needs a non-negative 'dur'")
+        if phase == "P" and stack_frames is not None:
+            sf = event.get("sf")
+            if sf is not None and str(sf) not in stack_frames:
+                problems.append(f"{where}: sample references unknown frame {sf!r}")
     return problems

@@ -6,6 +6,17 @@ from repro.compact import Compactor
 from repro.tech import generic_bicmos_1u, generic_cmos_05u
 
 
+@pytest.fixture(autouse=True)
+def _no_ledger(monkeypatch):
+    """Keep the suite hermetic: never write to the user's real run ledger.
+
+    Ledger tests opt back in by re-setting REPRO_LEDGER and pointing
+    REPRO_LEDGER_DIR at a tmp_path.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+
+
 @pytest.fixture
 def tech():
     """The paper-substitute 1 µm BiCMOS technology."""

@@ -285,6 +285,142 @@ def test_validate_chrome_trace_rejects_garbage():
     assert validate_chrome_trace([]) == []  # bare-array form is legal
 
 
+def test_validate_chrome_trace_checks_stack_frames():
+    sample = {"name": "s", "ph": "P", "ts": 0, "pid": 1, "tid": 1, "sf": "1"}
+    good = {"traceEvents": [sample],
+            "stackFrames": {"1": {"name": "f", "parent": "2"},
+                            "2": {"name": "root"}}}
+    assert validate_chrome_trace(good) == []
+    # a frame without a name, a dangling parent, a dangling sample ref
+    assert validate_chrome_trace({"traceEvents": [],
+                                  "stackFrames": {"1": {}}})
+    assert validate_chrome_trace({"traceEvents": [],
+                                  "stackFrames": {"1": {"name": "f",
+                                                        "parent": "9"}}})
+    assert validate_chrome_trace({"traceEvents": [sample], "stackFrames": {}})
+
+
+def _run_gauges_and_events(tracer):
+    """The canonical gauge/event workload the end-to-end tests replay."""
+    with tracer.span("opt.trial"):
+        tracer.gauge("opt.best_score", 17.5)
+        tracer.gauge("opt.best_score", 12.25)  # last write wins
+        tracer.event("opt.improved", order="BACDE")
+
+
+def test_gauges_and_events_through_jsonl_sink(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tracer = Tracer(enabled=True, sinks=[JsonlSink(path)])
+    _run_gauges_and_events(tracer)
+    tracer.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    gauges = [line for line in lines if line["type"] == "gauge"]
+    assert [g["value"] for g in gauges] == [17.5, 12.25]
+    assert all(g["name"] == "opt.best_score" for g in gauges)
+    assert all(g["ts_ns"] >= 0 for g in gauges)
+    event = next(line for line in lines if line["type"] == "event")
+    assert event["name"] == "opt.improved"
+    assert event["attrs"] == {"order": "BACDE"}
+
+
+def test_gauges_and_events_through_chrome_sink(tmp_path):
+    path = tmp_path / "trace.json"
+    tracer = Tracer(enabled=True, sinks=[ChromeTraceSink(path)])
+    _run_gauges_and_events(tracer)
+    tracer.close()
+    data = json.loads(path.read_text())
+    assert validate_chrome_trace(data) == []
+    counters = [e for e in data["traceEvents"]
+                if e["ph"] == "C" and e["name"] == "opt.best_score"]
+    assert [c["args"]["value"] for c in counters] == [17.5, 12.25]
+    instant = next(e for e in data["traceEvents"] if e["ph"] == "i")
+    assert instant["name"] == "opt.improved"
+    assert instant["args"] == {"order": "BACDE"}
+    # gauge timestamps land inside the enclosing span on the timeline
+    trial = next(e for e in data["traceEvents"] if e["ph"] == "X")
+    assert all(trial["ts"] <= c["ts"] <= trial["ts"] + trial["dur"]
+               for c in counters)
+
+
+def test_gauges_and_events_survive_a_truncated_trace(tmp_path,
+                                                     obs_log_records):
+    """Gauges/events recorded before a leaked span must still be written:
+    the unbalanced-span warning documents the hole, it does not void the
+    rest of the trace."""
+    path = tmp_path / "trace.json"
+    tracer = Tracer(enabled=True)
+    sink = tracer.add_sink(ChromeTraceSink(path))
+    _run_gauges_and_events(tracer)
+    tracer.span("opt.leaked").__enter__()  # never exits
+    tracer.close()
+    assert sink.unbalanced_spans == 1
+    assert any("imbalance of 1" in r.getMessage() for r in obs_log_records)
+    data = json.loads(path.read_text())
+    assert validate_chrome_trace(data) == []
+    phases = [e["ph"] for e in data["traceEvents"]]
+    assert phases.count("C") == 2 and phases.count("i") == 1
+
+
+def test_chrome_sink_interns_sampled_stack_frames(tmp_path):
+    sink = ChromeTraceSink(tmp_path / "trace.json")
+    sink.add_sample(1000, ("root", "mid", "leaf"))
+    sink.add_sample(2000, ("root", "mid", "leaf"))
+    sink.add_sample(3000, ("root", "other"))
+    payload = sink.to_json()
+    assert validate_chrome_trace(payload) == []
+    # shared prefixes intern to shared frames: root, mid, leaf, other
+    assert len(payload["stackFrames"]) == 4
+    samples = [e for e in payload["traceEvents"] if e["ph"] == "P"]
+    assert len(samples) == 3
+    assert samples[0]["sf"] == samples[1]["sf"] != samples[2]["sf"]
+    leaf = payload["stackFrames"][samples[0]["sf"]]
+    assert leaf["name"] == "leaf"
+
+
+def test_stats_sink_sort_and_top(tracer):
+    tracer, _ = tracer
+    stats = tracer.add_sink(StatsSink())
+    for name, calls in (("c.slow", 1), ("a.mid", 2), ("b.fast", 3)):
+        for _ in range(calls):
+            with tracer.span(name):
+                pass
+    for name, value in (("n.big", 100), ("n.small", 1), ("n.mid", 10)):
+        tracer.count(name, value)
+
+    by_name = stats.format_table()
+    rows = [line.split()[0] for line in by_name.splitlines()[1:4]]
+    assert rows == ["a.mid", "b.fast", "c.slow"]
+
+    by_calls = stats.format_table(sort="calls")
+    rows = [line.split()[0] for line in by_calls.splitlines()[1:4]]
+    assert rows == ["b.fast", "a.mid", "c.slow"]
+
+    for sort in ("total", "mean", "max"):
+        assert stats.format_table(sort=sort)  # valid, timing-dependent order
+
+    topped = stats.format_table(sort="calls", top=1)
+    assert "b.fast" in topped
+    assert "a.mid" not in topped
+    assert "2 more spans" in topped
+    assert "n.big" in topped  # counters sort by value when sort != name
+    assert "n.small" not in topped
+    assert "2 more counters" in topped
+
+    with pytest.raises(ValueError):
+        stats.format_table(sort="bogus")
+
+
+def test_cli_stats_sort_and_top_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "t.tech"
+    status = main(["stats", "--sort", "total", "--top", "3",
+                   "tech", "dump", "generic_bicmos_1u", "-o", str(out)])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "span" in captured
+
+
 # ---------------------------------------------------------------------------
 # logging
 # ---------------------------------------------------------------------------

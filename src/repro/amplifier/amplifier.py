@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..compact import Compactor
-from ..db import LayoutObject, capacitance_report
+from ..db import ConnectivityIndex, LayoutObject, capacitance_report
 from ..drc import run_drc
 from ..geometry import Rect, bounding_box
 from ..library import substrate_ring
@@ -198,12 +198,17 @@ def _global_routing(amp: LayoutObject, tech: Technology, margin: int) -> None:
     m1w = tech.min_width("metal1")
     m1s = tech.min_space("metal1", "metal1") or m1w
 
+    # One shared connectivity extraction for the whole routing pass: the
+    # wires each net adds are folded in incrementally instead of
+    # re-extracting the full layout once per net.
+    connectivity = ConnectivityIndex(amp.rects, tech)
+
     for index, net in enumerate(GLOBAL_NETS):
         track_top = box.y2 + 2 * pitch + index * pitch
         track_bot = box.y1 - 2 * pitch - index * pitch
         west_x = box.x1 - 2 * pitch - index * pitch
 
-        pins = _net_pins(amp, tech, net, plate, box)
+        pins = _net_pins(amp, tech, net, plate, box, connectivity)
         if len(pins) < 2:
             continue
         top_xs: List[int] = []
@@ -266,6 +271,7 @@ def _net_pins(
     net: str,
     plate: int,
     box: Optional[Rect] = None,
+    connectivity: Optional[ConnectivityIndex] = None,
 ) -> List[Tuple[int, int, bool]]:
     """One pin per connected component of *net*: (x, y, needs_via).
 
@@ -274,15 +280,19 @@ def _net_pins(
     in clear sky.  Metal1-only components get a metal1 escape stub from
     their largest rect to just outside the layout, where a via landing
     always fits (see :func:`_metal1_escape`).
-    """
-    from ..db.nets import extract_connectivity
 
+    *connectivity* is the shared :class:`ConnectivityIndex` over
+    ``amp.rects``; the global router passes one per routing pass so each
+    net's query costs an incremental catch-up, not a full extraction.
+    """
+    if connectivity is None:
+        connectivity = ConnectivityIndex(amp.rects, tech)
     if box is None:
         box = amp.bbox()
     rects = [r for r in amp.nonempty_rects if r.net == net]
     if not rects:
         return []
-    components = extract_connectivity(amp.rects, tech)
+    components = connectivity.components()
     pins: List[Tuple[int, int, bool]] = []
     for component in components:
         metal2 = [r for r in component if r.net == net and r.layer == "metal2"]

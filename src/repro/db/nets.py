@@ -7,6 +7,12 @@ Used for three things:
 * the electrical term of the optimizer's rating function (Sec. 2.4);
 * reporting "the quality (parasitic capacitances of the internal nodes)" of a
   finished module, as the paper does for the BiCMOS amplifier.
+
+:func:`extract_connectivity` delegates to the indexed extractor
+(:class:`repro.db.netindex.ConnectivityIndex` — per-layer sweeps feeding the
+union-find); the original all-pairs implementation survives as
+:func:`extract_connectivity_brute`, the reference the equivalence tests and
+benchmarks race the index against.
 """
 
 from __future__ import annotations
@@ -14,14 +20,25 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..geometry import Rect
+from ..obs import get_tracer
 from ..tech import Technology
 
 
 class DisjointSet:
-    """Union-find over integer indices with path compression."""
+    """Union-find over integer indices with path compression and
+    union-by-size (small tree under big, so chains stay logarithmic even
+    on sorted merge orders)."""
 
     def __init__(self, size: int) -> None:
         self._parent = list(range(size))
+        self._size = [1] * size
+
+    def grow(self, count: int = 1) -> int:
+        """Append *count* fresh singleton sets; returns the first new index."""
+        start = len(self._parent)
+        self._parent.extend(range(start, start + count))
+        self._size.extend([1] * count)
+        return start
 
     def find(self, index: int) -> int:
         """Representative of the set containing *index*."""
@@ -33,10 +50,14 @@ class DisjointSet:
         return root
 
     def union(self, a: int, b: int) -> None:
-        """Merge the sets containing *a* and *b*."""
+        """Merge the sets containing *a* and *b* (by size)."""
         ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            self._parent[rb] = ra
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
 
 
 def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[Rect]]:
@@ -51,6 +72,24 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
     yet are separated by the channel.  Unlabelled diffusion is therefore
     excluded, and labelled diffusion rects only connect to each other when
     they carry the same net.
+
+    Thin wrapper over a one-shot :class:`~repro.db.netindex.
+    ConnectivityIndex`; repeated per-net queries should build and share one
+    index instead of calling this in a loop.
+    """
+    from .netindex import ConnectivityIndex
+
+    return ConnectivityIndex(rects, tech).components()
+
+
+def extract_connectivity_brute(
+    rects: Sequence[Rect], tech: Technology
+) -> List[List[Rect]]:
+    """Reference all-pairs extraction (see :func:`extract_connectivity`).
+
+    Quadratic in the conducting rect count; kept as the oracle the indexed
+    path is verified and benchmarked against.  Counts every pair test on
+    the ``nets.pairs_scanned`` tracer counter.
     """
     from ..tech.layer import LayerKind
 
@@ -65,6 +104,7 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
         and not (is_diffusion(r) and r.net is None)
     ]
     dsu = DisjointSet(len(conducting))
+    scanned = 0
 
     by_layer: Dict[str, List[int]] = {}
     for index, rect in enumerate(conducting):
@@ -76,6 +116,7 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
         for pos, i in enumerate(indices):
             for j in indices[pos + 1:]:
                 a, b = conducting[i], conducting[j]
+                scanned += 1
                 if is_diffusion(a) and a.net != b.net:
                     continue
                 if a.touches_or_intersects(b):
@@ -85,6 +126,7 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
     for i, a in enumerate(conducting):
         for j in range(i + 1, len(conducting)):
             b = conducting[j]
+            scanned += 1
             if a.layer != b.layer and tech.overlap_connected(a.layer, b.layer):
                 if a.intersects(b):
                     dsu.union(i, j)
@@ -92,12 +134,15 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
     # Cross-layer through cuts.
     for cut_index, cut in enumerate(conducting):
         for bottom, top in tech.connected_layers(cut.layer):
+            scanned += len(by_layer.get(bottom, [])) + len(by_layer.get(top, []))
             bottoms = [
                 i for i in by_layer.get(bottom, []) if conducting[i].intersects(cut)
             ]
             tops = [i for i in by_layer.get(top, []) if conducting[i].intersects(cut)]
             for i in bottoms + tops:
                 dsu.union(cut_index, i)
+
+    get_tracer().count("nets.pairs_scanned", scanned)
 
     groups: Dict[int, List[Rect]] = {}
     for index, rect in enumerate(conducting):
@@ -106,15 +151,22 @@ def extract_connectivity(rects: Sequence[Rect], tech: Technology) -> List[List[R
 
 
 def net_is_connected(rects: Sequence[Rect], tech: Technology, net: str) -> bool:
-    """True when every rect labelled *net* sits in one connected component."""
+    """True when every rect labelled *net* sits in one connected component.
+
+    Only the component containing the first labelled rect can possibly hold
+    them all, so the scan stops as soon as that component is found.
+    """
     labelled = [r for r in rects if r.net == net and not r.is_empty]
     if len(labelled) <= 1:
         return True
     components = extract_connectivity(rects, tech)
+    first = id(labelled[0])
     for component in components:
         members = set(map(id, component))
-        if all(id(r) in members for r in labelled):
-            return True
+        if first in members:
+            return all(id(r) in members for r in labelled)
+    # The first labelled rect joined no component (non-conducting layer):
+    # the net cannot be electrically whole.
     return False
 
 
@@ -135,9 +187,22 @@ def estimate_net_capacitance(
 def capacitance_report(
     rects: Sequence[Rect], tech: Technology
 ) -> Dict[str, float]:
-    """Per-net capacitance summary (aF), sorted by net name."""
-    nets = sorted({r.net for r in rects if r.net and not r.is_empty})
-    return {net: estimate_net_capacitance(rects, tech, net) for net in nets}
+    """Per-net capacitance summary (aF), sorted by net name.
+
+    Single pass over the rects — per-net accumulation in rect order keeps
+    the float sums identical to the per-net scans it replaced.
+    """
+    totals: Dict[str, float] = {}
+    for rect in rects:
+        if not rect.net or rect.is_empty:
+            continue
+        model = tech.capacitance(rect.layer)
+        # Two separate additions, exactly as estimate_net_capacitance sums.
+        total = totals.get(rect.net, 0.0)
+        total += model.area * rect.area
+        total += model.perimeter * 2 * (rect.width + rect.height)
+        totals[rect.net] = total
+    return {net: totals[net] for net in sorted(totals)}
 
 
 def estimate_net_resistance(
@@ -169,11 +234,29 @@ def rc_report(
     """Per-net (R in Ω, C in aF, RC in ps) summary, sorted by net name.
 
     The RC product converts as Ω·aF = 10⁻¹⁸ s = 10⁻⁶ ps, reported in ps.
+    Both the R and C terms accumulate in one shared pass over the rects
+    (per-net sums in rect order, so the floats match the per-net scans).
     """
-    nets = sorted({r.net for r in rects if r.net and not r.is_empty})
+    resistances: Dict[str, float] = {}
+    capacitances: Dict[str, float] = {}
+    for rect in rects:
+        if not rect.net or rect.is_empty:
+            continue
+        net = rect.net
+        model = tech.capacitance(rect.layer)
+        capacitance = capacitances.get(net, 0.0)
+        capacitance += model.area * rect.area
+        capacitance += model.perimeter * 2 * (rect.width + rect.height)
+        capacitances[net] = capacitance
+        resistances.setdefault(net, 0.0)
+        rho = tech.sheet_rho(rect.layer)
+        if rho > 0:
+            long_side = max(rect.width, rect.height)
+            short_side = min(rect.width, rect.height)
+            resistances[net] += rho * long_side / short_side
     report: Dict[str, Tuple[float, float, float]] = {}
-    for net in nets:
-        resistance = estimate_net_resistance(rects, tech, net)
-        capacitance = estimate_net_capacitance(rects, tech, net)
+    for net in sorted(capacitances):
+        resistance = resistances[net]
+        capacitance = capacitances[net]
         report[net] = (resistance, capacitance, resistance * capacitance * 1e-6)
     return report

@@ -127,6 +127,14 @@ class Technology:
             layer_a,
         ) in self._overlap_connections
 
+    def overlap_connections(self) -> List[Tuple[str, str]]:
+        """All declared diffused-junction layer pairs, in declaration order.
+
+        The indexed connectivity extractor sweeps exactly these pairs
+        instead of asking :meth:`overlap_connected` for every rect pair.
+        """
+        return list(self._overlap_connections)
+
     def connected_layers(self, cut_layer: str) -> List[Tuple[str, str]]:
         """(bottom, top) pairs a cut layer connects."""
         return [(b, t) for (c, b, t) in self._connections if c == cut_layer]

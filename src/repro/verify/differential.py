@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..baselines import GraphCompactor
 from ..compact import Compactor
 from ..db import LayoutObject
-from ..db.nets import extract_connectivity
+from ..db.netindex import ConnectivityIndex
 from ..geometry import Direction, Rect
 from ..library import contact_row, mos_transistor
 from ..obs import get_tracer
@@ -124,7 +124,7 @@ def _net_partition(obj: LayoutObject) -> Set[Tuple[str, ...]]:
     for rect in rects:
         if rect.net is not None:
             find(rect.net)
-    for component in extract_connectivity(rects, obj.tech):
+    for component in ConnectivityIndex(rects, obj.tech).components():
         nets = sorted({r.net for r in component if r.net is not None})
         for other in nets[1:]:
             parent[find(other)] = find(nets[0])

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..compact.separation import overlap_forbidden
 from ..db import LayoutObject
-from ..db.nets import net_is_connected
+from ..db.netindex import ConnectivityIndex
 from ..drc import run_drc
 from ..geometry import Direction, Rect, bounding_box
 from ..obs import get_tracer
@@ -63,8 +63,10 @@ class LayoutSnapshot:
         for obj in objects:
             rects = obj.nonempty_rects
             snapshot.rects.extend(rect.copy() for rect in rects)
+            # One extraction per object answers every per-net query.
+            index = ConnectivityIndex(rects, tech)
             for net in sorted({r.net for r in rects if r.net is not None}):
-                if net_is_connected(rects, tech, net):
+                if index.net_is_connected(net):
                     snapshot.connected_nets.add(net)
         snapshot.bbox = bounding_box(snapshot.rects)
         return snapshot
@@ -85,8 +87,11 @@ def oracle_drc_clean(
 def oracle_connectivity(
     snapshot: LayoutSnapshot, obj: LayoutObject
 ) -> List[OracleViolation]:
-    """Nets connected before compaction must stay connected after."""
-    rects = obj.nonempty_rects
+    """Nets connected before compaction must stay connected after.
+
+    All nets are checked against one shared extraction of the result.
+    """
+    index = ConnectivityIndex(obj.nonempty_rects, snapshot.tech)
     return [
         OracleViolation(
             "connectivity",
@@ -94,7 +99,7 @@ def oracle_connectivity(
             " in the result",
         )
         for net in sorted(snapshot.connected_nets)
-        if not net_is_connected(rects, snapshot.tech, net)
+        if not index.net_is_connected(net)
     ]
 
 

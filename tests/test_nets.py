@@ -23,6 +23,36 @@ def test_disjoint_set():
     assert dsu.find(0) == dsu.find(3)
 
 
+def test_disjoint_set_unions_by_size():
+    dsu = DisjointSet(4)
+    dsu.union(0, 1)
+    dsu.union(0, 2)
+    # The singleton joins the bigger tree: the representative stays put.
+    root = dsu.find(0)
+    dsu.union(3, 0)
+    assert dsu.find(3) == root
+
+
+def test_disjoint_set_grow():
+    dsu = DisjointSet(2)
+    assert dsu.grow() == 2
+    assert dsu.grow(3) == 3
+    # Fresh indices are singletons and merge like the originals.
+    assert dsu.find(5) == 5
+    dsu.union(0, 5)
+    assert dsu.find(5) == dsu.find(0)
+
+
+def test_net_is_connected_on_nonconducting_layer(tech):
+    # Two labelled rects where the first sits on a non-conducting layer:
+    # no component can hold them all, so the net is split by definition.
+    rects = [
+        Rect(0, 0, 3000, 3000, "nwell", "w"),
+        Rect(0, 0, 3000, 3000, "metal1", "w"),
+    ]
+    assert not net_is_connected(rects, tech, "w")
+
+
 def test_same_layer_touching_connects(tech):
     rects = [
         Rect(0, 0, 10, 10, "metal1", "a"),

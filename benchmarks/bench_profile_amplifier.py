@@ -11,7 +11,11 @@ tooling.
 Acceptance: connectivity extraction — the pre-index top hotspot, now the
 swept :class:`~repro.db.netindex.ConnectivityIndex` — must stay OUT of the
 top-5 frames by self weight.  A reappearance means the index stopped being
-shared or its sweeps regressed to quadratic.
+shared or its sweeps regressed to quadratic.  Likewise the DRC checker's
+``check_spacing`` / ``_Components`` (the post-netindex dominant hotspot,
+now served by :class:`~repro.drc.index.DrcIndex`) must stay out of the
+top-5 — its reappearance means ``run_drc`` fell back to the all-pairs
+reference path.
 
 Run ``BENCH_SMOKE=1 pytest benchmarks/bench_profile_amplifier.py`` for the
 CI variant (identical workload; one build is already only a few seconds).
@@ -25,8 +29,11 @@ from repro.obs import SamplingProfiler
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Sampling period — 2 ms gives ~2000 samples on a ~4 s workload.
-INTERVAL_S = 0.002
+#: Sampling period — 0.5 ms; the indexed DRC dropped the build+measure
+#: to well under a second, so the workload repeats to keep the sample
+#: count statistically useful.
+INTERVAL_S = 0.0005
+BUILDS = 3
 
 
 def test_profile_amplifier(tech, record, ledger_append):
@@ -34,8 +41,9 @@ def test_profile_amplifier(tech, record, ledger_append):
     profiler.start()
     start = time.perf_counter()
     try:
-        amp = build_amplifier(tech)
-        report = measure_amplifier(amp)
+        for _ in range(BUILDS):
+            amp = build_amplifier(tech)
+            report = measure_amplifier(amp)
     finally:
         profiler.stop()
     wall_s = time.perf_counter() - start
@@ -47,6 +55,9 @@ def test_profile_amplifier(tech, record, ledger_append):
     assert not any(
         "extract_connectivity" in name or "netindex" in name for name in top5
     ), f"connectivity extraction is a top-5 hotspot again: {top5}"
+    assert not any(
+        "check_spacing" in name or "_Components" in name for name in top5
+    ), f"the all-pairs DRC path is a top-5 hotspot again: {top5}"
 
     RESULTS_DIR.mkdir(exist_ok=True)
     profiler.write_folded(RESULTS_DIR / "t_profile_amplifier.folded")

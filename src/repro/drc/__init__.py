@@ -1,14 +1,23 @@
 """Design-rule checking, including the Fig. 1 latch-up examination."""
 
 from .checker import (
+    CHECKS,
+    CHECKS_BRUTE,
     check_areas,
+    check_areas_brute,
     check_enclosures,
+    check_enclosures_brute,
     check_extensions,
+    check_extensions_brute,
     check_shorts,
+    check_shorts_brute,
     check_spacing,
+    check_spacing_brute,
     check_widths,
+    check_widths_brute,
     run_drc,
 )
+from .index import DrcIndex
 from .latchup import (
     check_latchup,
     insert_protection_contacts,
@@ -18,12 +27,21 @@ from .latchup import (
 from .violations import Violation, format_report
 
 __all__ = [
+    "CHECKS",
+    "CHECKS_BRUTE",
+    "DrcIndex",
     "check_areas",
+    "check_areas_brute",
     "check_enclosures",
+    "check_enclosures_brute",
     "check_extensions",
+    "check_extensions_brute",
     "check_shorts",
+    "check_shorts_brute",
     "check_spacing",
+    "check_spacing_brute",
     "check_widths",
+    "check_widths_brute",
     "run_drc",
     "check_latchup",
     "insert_protection_contacts",

@@ -6,6 +6,24 @@ same-layer rects that touch or overlap form one merged shape (that is how
 the rectangle database represents polygons), so spacing applies between
 components, and transistor-extension rules apply between a gate and the
 whole diffusion component it crosses.
+
+Every check exists twice:
+
+* ``check_*_brute`` — the original all-pairs reference implementation.
+  Deliberately naive and obviously correct; it is the oracle the indexed
+  path is tested against (``tests/test_drc_index.py``) and stays reachable
+  through ``run_drc(obj, use_index=False)``.
+* ``check_*`` — the production path, served by the sweep-indexed
+  :class:`repro.drc.index.DrcIndex` (candidate generation within the
+  applicable spacing rules instead of O(n²), sweep-fed union-find
+  components).  Each accepts an optional prebuilt index so one ``run_drc``
+  shares a single build across all checks; called bare, it builds its own.
+
+The contract between the two paths is *byte identity*: same violations,
+same messages, same rect objects, same order.  Both paths count the
+geometric pair tests they perform into the deterministic
+``drc.pairs_scanned`` counter, so indexed-vs-brute ratios are directly
+comparable (mirroring ``nets.pairs_scanned``).
 """
 
 from __future__ import annotations
@@ -16,6 +34,7 @@ from ..db import DisjointSet, LayoutObject
 from ..geometry import Rect, bounding_box
 from ..obs import get_logger, get_tracer
 from ..tech import Technology
+from .index import DrcIndex
 from .latchup import check_latchup
 from .violations import Violation
 
@@ -23,7 +42,11 @@ log = get_logger("drc")
 
 
 class _Components:
-    """Per-layer connected components of touching rects."""
+    """Per-layer connected components of touching rects (reference path).
+
+    The quadratic same-layer loop is intentional: this is the oracle the
+    sweep-fed :class:`DrcIndex` components are checked against.
+    """
 
     def __init__(self, rects: Sequence[Rect]) -> None:
         self.rects = list(rects)
@@ -32,11 +55,14 @@ class _Components:
         for index, rect in enumerate(self.rects):
             by_layer.setdefault(rect.layer, []).append(index)
         dsu = DisjointSet(len(self.rects))
+        scanned = 0
         for indices in by_layer.values():
             for pos, i in enumerate(indices):
                 for j in indices[pos + 1:]:
+                    scanned += 1
                     if self.rects[i].touches_or_intersects(self.rects[j]):
                         dsu.union(i, j)
+        get_tracer().count("drc.pairs_scanned", scanned)
         for index in range(len(self.rects)):
             self._comp_of[index] = dsu.find(index)
         self._members: Dict[int, List[int]] = {}
@@ -53,58 +79,124 @@ class _Components:
 
     def touches_component(self, rect: Rect, comp: int) -> bool:
         """True when *rect* touches/overlaps any member of *comp*."""
-        return any(rect.touches_or_intersects(member) for member in self.members(comp))
+        tested = 0
+        hit = False
+        for member in self.members(comp):
+            tested += 1
+            if rect.touches_or_intersects(member):
+                hit = True
+                break
+        get_tracer().count("drc.pairs_scanned", tested)
+        return hit
 
     def component_nets(self, comp: int) -> Set[Optional[str]]:
         """Nets present in a component."""
         return {member.net for member in self.members(comp)}
 
 
-def check_widths(obj: LayoutObject) -> List[Violation]:
-    """Minimum width (and exact cut size) per rect."""
+def _ensure_index(obj: LayoutObject, index: Optional[DrcIndex]) -> DrcIndex:
+    if index is None:
+        index = DrcIndex(obj)
+    index.sync()
+    return index
+
+
+# ======================================================================
+# width / cut size
+# ======================================================================
+def check_widths_brute(obj: LayoutObject) -> List[Violation]:
+    """Minimum width (and exact cut size) per rect — all-pairs reference."""
     violations: List[Violation] = []
+    scanned = 0
     for rect in obj.nonempty_rects:
         cut = obj.tech.rules.cut_size(rect.layer)
         if cut is not None:
             if rect.width != cut or rect.height != cut:
-                violations.append(
-                    Violation(
-                        "width",
-                        f"cut on {rect.layer!r} must be exactly {cut} dbu square,"
-                        f" found {rect.width}×{rect.height}",
-                        rect.center,
-                        (rect,),
-                    )
-                )
+                violations.append(_cut_size_violation(rect, cut))
             continue
         rule = obj.tech.rules.width(rect.layer)
         if rule is not None and rect.short_side() < rule:
             # A short rect overlapping a rule-sized same-layer neighbour is
             # part of a wider merged shape (e.g. a stub ending on a via
             # pad); only isolated thin shapes violate the rule.
-            absorbed = any(
-                other is not rect
-                and other.layer == rect.layer
-                and other.short_side() >= rule
-                and other.intersects(rect)
-                for other in obj.nonempty_rects
-            )
+            absorbed = False
+            for other in obj.nonempty_rects:
+                scanned += 1
+                if (
+                    other is not rect
+                    and other.layer == rect.layer
+                    and other.short_side() >= rule
+                    and other.intersects(rect)
+                ):
+                    absorbed = True
+                    break
             if absorbed:
                 continue
-            violations.append(
-                Violation(
-                    "width",
-                    f"{rect.layer!r} shape is {rect.short_side()} dbu wide,"
-                    f" rule requires {rule}",
-                    rect.center,
-                    (rect,),
-                )
-            )
+            violations.append(_width_violation(rect, rule))
+    get_tracer().count("drc.pairs_scanned", scanned)
     return violations
 
 
-def check_spacing(obj: LayoutObject) -> List[Violation]:
-    """Pairwise spacing between merged shapes.
+def check_widths(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
+    """Minimum width (and exact cut size) per rect.
+
+    The absorbed-thin-stub scan is served from the index's same-layer
+    touching adjacency (overlap implies touch), instead of a full rect-list
+    pass per thin rect.
+    """
+    index = _ensure_index(obj, index)
+    violations: List[Violation] = []
+    rects = index.rects
+    scanned = 0
+    for i, rect in enumerate(rects):
+        cut = obj.tech.rules.cut_size(rect.layer)
+        if cut is not None:
+            if rect.width != cut or rect.height != cut:
+                violations.append(_cut_size_violation(rect, cut))
+            continue
+        rule = obj.tech.rules.width(rect.layer)
+        if rule is not None and rect.short_side() < rule:
+            absorbed = False
+            for j in index.same_layer_touchers(i):
+                other = rects[j]
+                scanned += 1
+                if other.short_side() >= rule and other.intersects(rect):
+                    absorbed = True
+                    break
+            if absorbed:
+                continue
+            violations.append(_width_violation(rect, rule))
+    get_tracer().count("drc.pairs_scanned", scanned)
+    return violations
+
+
+def _cut_size_violation(rect: Rect, cut: int) -> Violation:
+    return Violation(
+        "width",
+        f"cut on {rect.layer!r} must be exactly {cut} dbu square,"
+        f" found {rect.width}×{rect.height}",
+        rect.center,
+        (rect,),
+    )
+
+
+def _width_violation(rect: Rect, rule: int) -> Violation:
+    return Violation(
+        "width",
+        f"{rect.layer!r} shape is {rect.short_side()} dbu wide,"
+        f" rule requires {rule}",
+        rect.center,
+        (rect,),
+    )
+
+
+# ======================================================================
+# spacing
+# ======================================================================
+def check_spacing_brute(obj: LayoutObject) -> List[Violation]:
+    """Pairwise spacing between merged shapes — all-pairs reference.
 
     Same-component pairs are one shape; same-net components may merge; a
     gate-layer rect crossing a diffusion component is functionally attached
@@ -113,9 +205,12 @@ def check_spacing(obj: LayoutObject) -> List[Violation]:
     violations: List[Violation] = []
     rects = obj.nonempty_rects
     comps = _Components(rects)
+    tracer = get_tracer()
+    scanned = 0
     for i, a in enumerate(rects):
         for j in range(i + 1, len(rects)):
             b = rects[j]
+            scanned += 1
             rule = obj.tech.min_space(a.layer, b.layer)
             if rule is None:
                 continue
@@ -126,14 +221,7 @@ def check_spacing(obj: LayoutObject) -> List[Violation]:
                     continue
                 gap = a.distance(b)
                 if 0 < gap < rule:
-                    violations.append(
-                        Violation(
-                            "spacing",
-                            f"{a.layer!r} gap {gap} dbu < rule {rule}",
-                            a.center,
-                            (a, b),
-                        )
-                    )
+                    violations.append(_same_layer_spacing_violation(a, b, gap, rule))
                 continue
             # Cross-layer: intentional stacking touches; a rect functionally
             # attached to the other's component is exempt.
@@ -145,27 +233,96 @@ def check_spacing(obj: LayoutObject) -> List[Violation]:
                 continue
             gap = a.distance(b)
             if 0 < gap < rule:
-                violations.append(
-                    Violation(
-                        "spacing",
-                        f"{a.layer!r}/{b.layer!r} gap {gap} dbu < rule {rule}",
-                        a.center,
-                        (a, b),
-                    )
-                )
+                violations.append(_cross_layer_spacing_violation(a, b, gap, rule))
+    tracer.count("drc.pairs_scanned", scanned)
     return violations
 
 
-def check_enclosures(obj: LayoutObject) -> List[Violation]:
+def check_spacing(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
+    """Pairwise spacing between merged shapes, sweep-indexed.
+
+    Evaluates only the candidate pairs the rule-radius dilated sweeps
+    generated (pairs whose per-axis gaps are inside their layer pair's
+    SPACE rule), in ascending (i, j) order — the same order and predicates
+    as the brute all-pairs loop, hence the identical violation list.
+    """
+    index = _ensure_index(obj, index)
+    violations: List[Violation] = []
+    rects = index.rects
+    candidates = index.spacing_candidates()
+    get_tracer().count("drc.pairs_scanned", len(candidates))
+    for i, j in candidates:
+        a = rects[i]
+        b = rects[j]
+        rule = obj.tech.min_space(a.layer, b.layer)
+        if a.layer == b.layer:
+            if index.same_component(i, j):
+                continue
+            if a.net is not None and a.net == b.net:
+                continue
+            gap = a.distance(b)
+            if 0 < gap < rule:
+                violations.append(_same_layer_spacing_violation(a, b, gap, rule))
+            continue
+        if a.touches_or_intersects(b):
+            continue
+        if index.touches_component(i, index.component(j)):
+            continue
+        if index.touches_component(j, index.component(i)):
+            continue
+        gap = a.distance(b)
+        if 0 < gap < rule:
+            violations.append(_cross_layer_spacing_violation(a, b, gap, rule))
+    return violations
+
+
+def _same_layer_spacing_violation(a: Rect, b: Rect, gap: int, rule: int) -> Violation:
+    return Violation(
+        "spacing",
+        f"{a.layer!r} gap {gap} dbu < rule {rule}",
+        a.center,
+        (a, b),
+    )
+
+
+def _cross_layer_spacing_violation(a: Rect, b: Rect, gap: int, rule: int) -> Violation:
+    return Violation(
+        "spacing",
+        f"{a.layer!r}/{b.layer!r} gap {gap} dbu < rule {rule}",
+        a.center,
+        (a, b),
+    )
+
+
+# ======================================================================
+# enclosure
+# ======================================================================
+def check_enclosures_brute(obj: LayoutObject) -> List[Violation]:
+    """Cut-enclosure check — reference path (scans the full rect list)."""
+    rects = obj.nonempty_rects
+    _Components(rects)  # kept: the reference path pays the component build
+    return _check_enclosures(obj, rects, obj.rects_on)
+
+
+def check_enclosures(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
     """Every cut must sit inside a bottom and a top conductor with margin.
 
     Enclosure is evaluated against merged shapes: the margin-grown cut must
     be covered by the union of one component's rects, not necessarily by a
-    single rect.
+    single rect.  Conductor rects are served from the index's layer
+    buckets.
     """
+    index = _ensure_index(obj, index)
+    return _check_enclosures(obj, index.rects, index.rects_on)
+
+
+def _check_enclosures(obj: LayoutObject, rects, rects_on) -> List[Violation]:
     violations: List[Violation] = []
-    rects = obj.nonempty_rects
-    comps = _Components(rects)
+    scanned = 0
     for cut in rects:
         if obj.tech.rules.cut_size(cut.layer) is None:
             continue
@@ -175,7 +332,9 @@ def check_enclosures(obj: LayoutObject) -> List[Violation]:
         bottoms = {bottom for bottom, _ in pairs}
         tops = {top for _, top in pairs}
         for role, candidates in (("bottom", bottoms), ("top", tops)):
-            if not _enclosed_by_any(obj, comps, cut, candidates):
+            enclosed, tested = _enclosed_by_any(obj, rects_on, cut, candidates)
+            scanned += tested
+            if not enclosed:
                 violations.append(
                     Violation(
                         "enclosure",
@@ -185,25 +344,35 @@ def check_enclosures(obj: LayoutObject) -> List[Violation]:
                         (cut,),
                     )
                 )
+    get_tracer().count("drc.pairs_scanned", scanned)
     return violations
 
 
 def _enclosed_by_any(
-    obj: LayoutObject, comps: _Components, cut: Rect, layers: Sequence[str]
-) -> bool:
+    obj: LayoutObject, rects_on, cut: Rect, layers: Sequence[str]
+) -> Tuple[bool, int]:
+    """``(enclosed, pairs tested)`` — the caller batches the counter."""
     from ..geometry import covered_by
 
-    for layer in layers:
+    scanned = 0
+    # Sorted: *layers* arrives as a set, and the early return makes the
+    # pairs_scanned counter order-sensitive — CI diffs it exactly.
+    for layer in sorted(layers):
         margin = obj.tech.enclosure_or_zero(layer, cut.layer)
         grown = cut.grown(margin)
-        candidates = [r for r in obj.rects_on(layer) if r.intersects(grown)]
+        on_layer = rects_on(layer)
+        scanned += len(on_layer)
+        candidates = [r for r in on_layer if r.intersects(grown)]
         if candidates and covered_by([grown], candidates):
-            return True
-    return False
+            return True, scanned
+    return False, scanned
 
 
-def check_extensions(obj: LayoutObject) -> List[Violation]:
-    """Transistor formation rules against merged diffusion shapes.
+# ======================================================================
+# extension (transistor formation)
+# ======================================================================
+def check_extensions_brute(obj: LayoutObject) -> List[Violation]:
+    """Transistor-formation check — all-pairs reference.
 
     For every (gate-layer, body-layer) pair with EXTEND rules: a gate rect
     overlapping a diffusion component must fully cross the *local* body rect
@@ -218,6 +387,7 @@ def check_extensions(obj: LayoutObject) -> List[Violation]:
     rules = obj.tech.rules
     rects = obj.nonempty_rects
     comps = _Components(rects)
+    tracer = get_tracer()
 
     # Group diffusion rects by (layer, component).
     body_components: Dict[Tuple[str, int], List[Rect]] = {}
@@ -227,6 +397,7 @@ def check_extensions(obj: LayoutObject) -> List[Violation]:
                 (rect.layer, comps.component(index)), []
             ).append(rect)
 
+    scanned = 0
     for gate in rects:
         if obj.tech.layer(gate.layer).kind is not LayerKind.POLY:
             continue
@@ -235,7 +406,46 @@ def check_extensions(obj: LayoutObject) -> List[Violation]:
             sd_ext = rules.extend(body_layer, gate.layer)
             if endcap is None or sd_ext is None:
                 continue
-            if not any(gate.intersects(member) for member in members):
+            overlapping = False
+            for member in members:
+                scanned += 1
+                if gate.intersects(member):
+                    overlapping = True
+                    break
+            if not overlapping:
+                continue
+            box = bounding_box(members)
+            assert box is not None
+            violations.extend(_check_crossing(gate, box, endcap, sd_ext))
+    tracer.count("drc.pairs_scanned", scanned)
+    return violations
+
+
+def check_extensions(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
+    """Transistor formation rules against merged diffusion shapes.
+
+    Gate/body overlap membership comes from the index's strict-interval
+    gate-over-diffusion sweeps instead of gate × component-member loops.
+    """
+    from ..tech.layer import LayerKind
+
+    index = _ensure_index(obj, index)
+    violations: List[Violation] = []
+    rules = obj.tech.rules
+    rects = index.rects
+    body_components = index.diffusion_groups()
+
+    for gate_index, gate in enumerate(rects):
+        if obj.tech.layer(gate.layer).kind is not LayerKind.POLY:
+            continue
+        for (body_layer, comp), members in body_components.items():
+            endcap = rules.extend(gate.layer, body_layer)
+            sd_ext = rules.extend(body_layer, gate.layer)
+            if endcap is None or sd_ext is None:
+                continue
+            if not index.gate_overlaps(gate_index, comp):
                 continue
             box = bounding_box(members)
             assert box is not None
@@ -270,23 +480,38 @@ def _check_crossing(
     ]
 
 
-def check_areas(obj: LayoutObject) -> List[Violation]:
+# ======================================================================
+# area
+# ======================================================================
+def check_areas_brute(obj: LayoutObject) -> List[Violation]:
+    """Minimum area per merged shape — reference path."""
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    return _check_areas(obj, rects, comps.component, comps.members)
+
+
+def check_areas(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
     """Minimum area per merged shape (union area of each component)."""
+    index = _ensure_index(obj, index)
+    return _check_areas(obj, index.rects, index.component, index.members)
+
+
+def _check_areas(obj: LayoutObject, rects, component, members_of) -> List[Violation]:
     from ..geometry import union_area
 
     violations: List[Violation] = []
-    rects = obj.nonempty_rects
-    comps = _Components(rects)
     seen: Set[int] = set()
     for index, rect in enumerate(rects):
         rule = obj.tech.rules.area(rect.layer)
         if rule is None:
             continue
-        comp = comps.component(index)
+        comp = component(index)
         if comp in seen:
             continue
         seen.add(comp)
-        members = [m for m in comps.members(comp) if m.layer == rect.layer]
+        members = [m for m in members_of(comp) if m.layer == rect.layer]
         if union_area(members) < rule:
             violations.append(
                 Violation(
@@ -300,27 +525,46 @@ def check_areas(obj: LayoutObject) -> List[Violation]:
     return violations
 
 
-def check_shorts(obj: LayoutObject) -> List[Violation]:
+# ======================================================================
+# shorts
+# ======================================================================
+def check_shorts_brute(obj: LayoutObject) -> List[Violation]:
+    """Net-short check — reference path."""
+    rects = obj.nonempty_rects
+    comps = _Components(rects)
+    return _check_shorts(obj, rects, comps.component, comps.component_nets, comps.members)
+
+
+def check_shorts(
+    obj: LayoutObject, index: Optional[DrcIndex] = None
+) -> List[Violation]:
     """Two different nets inside one merged shape are a short.
 
     Applies to unambiguous conductor layers (metal, poly, cuts); diffusion
     components legitimately carry several nets (the source and drain of one
     device share an active region through the channel).
     """
+    index = _ensure_index(obj, index)
+    return _check_shorts(
+        obj, index.rects, index.component, index.component_nets, index.members
+    )
+
+
+def _check_shorts(
+    obj: LayoutObject, rects, component, nets_of, members_of
+) -> List[Violation]:
     from ..tech.layer import LayerKind
 
     violations: List[Violation] = []
-    rects = obj.nonempty_rects
-    comps = _Components(rects)
     reported: Set[int] = set()
     for index, rect in enumerate(rects):
         kind = obj.tech.layer(rect.layer).kind
         if kind not in (LayerKind.METAL, LayerKind.POLY, LayerKind.CUT):
             continue
-        comp = comps.component(index)
+        comp = component(index)
         if comp in reported:
             continue
-        nets = comps.component_nets(comp) - {None}
+        nets = nets_of(comp) - {None}
         if len(nets) > 1:
             reported.add(comp)
             violations.append(
@@ -329,13 +573,14 @@ def check_shorts(obj: LayoutObject) -> List[Violation]:
                     f"merged {rect.layer!r} shape carries nets"
                     f" {sorted(nets)}",
                     rect.center,
-                    tuple(comps.members(comp)),
+                    tuple(members_of(comp)),
                 )
             )
     return violations
 
 
-#: The checks run_drc executes, in order: (rule class, check function).
+#: The indexed checks run_drc executes, in order: (rule class, check
+#: function).  Each accepts (obj, index=None).
 CHECKS = (
     ("width", check_widths),
     ("spacing", check_spacing),
@@ -345,18 +590,49 @@ CHECKS = (
     ("short", check_shorts),
 )
 
+#: The brute reference checks, same order; each accepts (obj,).
+CHECKS_BRUTE = (
+    ("width", check_widths_brute),
+    ("spacing", check_spacing_brute),
+    ("enclosure", check_enclosures_brute),
+    ("extension", check_extensions_brute),
+    ("area", check_areas_brute),
+    ("short", check_shorts_brute),
+)
 
-def run_drc(obj: LayoutObject, include_latchup: bool = True) -> List[Violation]:
-    """Run every check; returns the combined violation list."""
+
+def run_drc(
+    obj: LayoutObject,
+    include_latchup: bool = True,
+    use_index: bool = True,
+) -> List[Violation]:
+    """Run every check; returns the combined violation list.
+
+    ``use_index=True`` (the default) builds one :class:`DrcIndex` shared by
+    every check; ``use_index=False`` runs the all-pairs reference path.
+    Both return the identical violation list.
+    """
     tracer = get_tracer()
     violations: List[Violation] = []
-    with tracer.span("drc.run", obj=obj.name, rects=len(obj.nonempty_rects)):
-        checks = CHECKS + ((("latchup", check_latchup),) if include_latchup else ())
+    with tracer.span(
+        "drc.run",
+        obj=obj.name,
+        rects=len(obj.nonempty_rects),
+        indexed=use_index,
+    ):
+        index = DrcIndex(obj) if use_index else None
+        checks = CHECKS if use_index else CHECKS_BRUTE
         for rule_class, check in checks:
             with tracer.span(f"drc.{rule_class}"):
-                found = check(obj)
+                found = check(obj, index) if use_index else check(obj)
             tracer.count("drc.rules_checked")
             tracer.count(f"drc.violations.{rule_class}", len(found))
+            violations.extend(found)
+        if include_latchup:
+            with tracer.span("drc.latchup"):
+                found = check_latchup(obj)
+            tracer.count("drc.rules_checked")
+            tracer.count("drc.violations.latchup", len(found))
             violations.extend(found)
     tracer.count("drc.violations.total", len(violations))
     log.debug(

@@ -160,6 +160,15 @@ class RuleSet:
         """Sheet resistance of *layer* (Ω/□), or None."""
         return self._sheet.get(layer)
 
+    def space_items(self) -> List[Tuple[Tuple[str, str], int]]:
+        """All SPACE rules as ((layer_a, layer_b), value) in registration order.
+
+        The pairs are canonical (``layer_a <= layer_b``); sweep-based
+        checkers iterate exactly these pairs instead of probing every layer
+        combination through :meth:`space`.
+        """
+        return list(self._space.items())
+
     def enclosing_layers(self, inner: str) -> List[str]:
         """All layers registered to enclose *inner* (used by ARRAY/INBOX)."""
         return [outer for (outer, inn) in self._enclose if inn == inner]

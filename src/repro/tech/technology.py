@@ -186,6 +186,42 @@ class Technology:
             cache[key] = cached
         return cached
 
+    def space_rules(self) -> Tuple[Tuple[str, str, int], ...]:
+        """Every SPACE rule as (layer_a, layer_b, value), memoized.
+
+        Pairs are canonical and unique (``layer_a <= layer_b``), in
+        registration order.  The sweep-indexed DRC checker enumerates these
+        instead of asking :meth:`min_space` for all layer pairs.
+        """
+        cache = self._queries()
+        key = ("space_rules",)
+        cached = cache.get(key)
+        if cached is None:
+            cached = tuple(
+                (pair[0], pair[1], value)
+                for pair, value in self.rules.space_items()
+            )
+            cache[key] = cached
+        return cached
+
+    def max_space_radius(self) -> int:
+        """The largest SPACE rule value of the technology, memoized (0 when
+        no spacing rules exist).
+
+        An upper bound on how far apart two shapes can be and still violate
+        any spacing rule — the dilation radius sweep indexes use to bound
+        their candidate windows.
+        """
+        cache = self._queries()
+        key = ("max_space_radius",)
+        cached = cache.get(key)
+        if cached is None:
+            cached = max(
+                (value for _, _, value in self.space_rules()), default=0
+            )
+            cache[key] = cached
+        return cached
+
     def enclosure(self, outer: str, inner: str) -> int:
         """Mandatory enclosure of *inner* by *outer*."""
         value = self.rules.enclose(outer, inner)

@@ -13,6 +13,7 @@ promise (see ``docs/verification.md``):
 
 from .differential import TrialReport, random_object_set, run_differential, run_trial
 from .fuzzer import FuzzResult, fuzz, generate_program, run_fuzz_case
+from .inject import INJECTORS, Injection, inject_violation
 from .golden import (
     GOLDEN_PATH,
     GoldenMismatch,
@@ -41,6 +42,9 @@ __all__ = [
     "fuzz",
     "generate_program",
     "run_fuzz_case",
+    "INJECTORS",
+    "Injection",
+    "inject_violation",
     "GOLDEN_PATH",
     "GoldenMismatch",
     "cell_fingerprint",

@@ -1,0 +1,240 @@
+"""The sweep-indexed DRC checker equals the brute-force reference.
+
+:class:`repro.drc.index.DrcIndex` must be invisible: every indexed check
+returns the *identical* violation list — kind, message, location, rect
+identity, order — as its ``check_*_brute`` counterpart, for any rect soup
+in any builtin technology, and after any in-place mutation or append once
+the index is invalidated/resynced.  Hypothesis drives random soups through
+all six check pairs; the golden-cell matrix pins the acceptance contract;
+the counter tests pin the ≥10x pairs-scanned reduction and the
+one-build-per-run behaviour.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.db import LayoutObject
+from repro.drc import run_drc
+from repro.drc.checker import CHECKS, CHECKS_BRUTE, check_widths, check_widths_brute
+from repro.drc.index import DrcIndex
+from repro.geometry import Rect
+from repro.library import GOLDEN_CELLS
+from repro.obs import StatsSink, Tracer, activate
+from repro.tech import BUILTIN_TECHNOLOGIES
+
+TECHS = {name: build() for name, build in BUILTIN_TECHNOLOGIES.items()}
+TECH_NAMES = sorted(TECHS)
+LAYERS = {name: [layer.name for layer in tech.layers] for name, tech in TECHS.items()}
+
+#: Raw rect specs; the layer choice is an index so one strategy serves
+#: every technology's layer table.
+specs = st.tuples(
+    st.integers(min_value=-12_000, max_value=12_000),
+    st.integers(min_value=-12_000, max_value=12_000),
+    st.integers(min_value=100, max_value=8_000),
+    st.integers(min_value=100, max_value=8_000),
+    st.integers(min_value=0, max_value=63),
+    st.sampled_from(["a", "b", "c", None]),
+)
+
+
+def _soup(tech_name, spec_list):
+    layers = LAYERS[tech_name]
+    obj = LayoutObject("soup", TECHS[tech_name])
+    for x, y, w, h, layer_choice, net in spec_list:
+        obj.add_rect(Rect(x, y, x + w, y + h, layers[layer_choice % len(layers)], net))
+    return obj
+
+
+def _ids(obj, violations):
+    """Violation fingerprints: layout rects by identity, synthesized rects
+    (extension body boxes, latchup report rects) by value."""
+    layout_ids = {id(r) for r in obj.rects}
+    def rect_key(r):
+        if id(r) in layout_ids:
+            return id(r)
+        return ("synthesized", r.x1, r.y1, r.x2, r.y2, r.layer, r.net)
+    return [
+        (v.kind, v.message, v.where, tuple(rect_key(r) for r in v.rects))
+        for v in violations
+    ]
+
+
+def _assert_equivalent(obj, index=None):
+    """Every indexed check matches its brute twin byte-for-byte."""
+    if index is None:
+        index = DrcIndex(obj)
+    for (rule_class, indexed), (_, brute) in zip(CHECKS, CHECKS_BRUTE):
+        assert _ids(obj, indexed(obj, index)) == _ids(obj, brute(obj)), rule_class
+    return index
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: indexed vs brute on random soups, every builtin technology
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tech_name", TECH_NAMES)
+@settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+@given(st.lists(specs, min_size=0, max_size=18))
+def test_indexed_equals_brute_on_random_soups(tech_name, spec_list):
+    obj = _soup(tech_name, spec_list)
+    index = _assert_equivalent(obj)
+    assert index.builds == 1  # all six checks shared one build
+    assert _ids(obj, run_drc(obj, include_latchup=False, use_index=True)) == _ids(
+        obj, run_drc(obj, include_latchup=False, use_index=False)
+    )
+
+
+@pytest.mark.parametrize("tech_name", TECH_NAMES)
+@settings(
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+@given(
+    st.lists(specs, min_size=1, max_size=10),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=-3_000, max_value=3_000),
+            st.integers(min_value=-3_000, max_value=3_000),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    st.lists(specs, min_size=0, max_size=4),
+)
+def test_invalidate_after_mutation_equals_scratch(tech_name, spec_list, moves, appended):
+    """A resynced index equals both a scratch index and the brute path.
+
+    In-place coordinate mutation requires ``invalidate()``; appending rects
+    is detected by ``sync()`` on its own.
+    """
+    obj = _soup(tech_name, spec_list)
+    index = _assert_equivalent(obj)
+    rects = obj.nonempty_rects
+    for which, dx, dy in moves:
+        rect = rects[which % len(rects)]
+        rect.x1 += dx
+        rect.x2 += dx
+        rect.y1 += dy
+        rect.y2 += dy
+    index.invalidate()
+    _assert_equivalent(obj, index)
+    for x, y, w, h, layer_choice, net in appended:
+        layers = LAYERS[tech_name]
+        obj.add_rect(
+            Rect(x, y, x + w, y + h, layers[layer_choice % len(layers)], net)
+        )
+    _assert_equivalent(obj, index)  # sync() sees the length change itself
+    scratch = DrcIndex(obj)
+    assert _ids(
+        obj, [v for _, check in CHECKS for v in check(obj, index)]
+    ) == _ids(obj, [v for _, check in CHECKS for v in check(obj, scratch)])
+
+
+# ----------------------------------------------------------------------
+# acceptance: the golden-cell matrix, all builtin technologies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tech_name", TECH_NAMES)
+def test_golden_cells_byte_identical(tech_name):
+    tech = TECHS[tech_name]
+    checked = 0
+    for spec in GOLDEN_CELLS:
+        if not spec.supported(tech):
+            continue
+        obj = spec.build(tech)
+        _assert_equivalent(obj)
+        # The full run (latchup included) must agree as well; latchup
+        # synthesizes its report rects each run, which _ids keys by value.
+        assert _ids(obj, run_drc(obj, use_index=True)) == _ids(
+            obj, run_drc(obj, use_index=False)
+        )
+        checked += 1
+    assert checked > 0
+
+
+# ----------------------------------------------------------------------
+# the absorbed-thin-stub scan (quadratic fix) regression
+# ----------------------------------------------------------------------
+def _stub_forest(tech, stubs=120):
+    """Many thin stubs hanging off one wide spine, spine listed last —
+    the worst case for the old full-list scan per thin rect."""
+    obj = LayoutObject("stubs", tech)
+    rule = tech.rules.width("metal1")
+    pitch = 4 * rule  # stubs well clear of each other
+    for i in range(stubs):
+        x = i * pitch
+        obj.add_rect(Rect(x, 1000, x + rule // 3, 4000, "metal1", "n"))
+    obj.add_rect(Rect(-rule, 0, stubs * pitch + rule, 2000, "metal1", "n"))
+    return obj
+
+
+def _counted(fn):
+    tracer = Tracer(enabled=True)
+    stats = StatsSink()
+    tracer.add_sink(stats)
+    with activate(tracer):
+        result = fn()
+    return result, stats
+
+
+def test_absorbed_stub_scan_equals_brute(tech):
+    obj = _stub_forest(tech)
+    index = DrcIndex(obj)
+    index.sync()  # build outside the counted region
+    assert _ids(obj, check_widths(obj, index)) == _ids(obj, check_widths_brute(obj))
+    assert check_widths(obj, index) == []  # every stub is absorbed
+
+
+def test_absorbed_stub_scan_is_bucket_served(tech):
+    """The indexed scan tests only same-layer touchers, not the whole
+    rect list per thin stub."""
+    obj = _stub_forest(tech)
+    index = DrcIndex(obj)
+    index.sync()
+    _, indexed_stats = _counted(lambda: check_widths(obj, index))
+    _, brute_stats = _counted(lambda: check_widths_brute(obj))
+    indexed_pairs = indexed_stats.counter("drc.pairs_scanned")
+    brute_pairs = brute_stats.counter("drc.pairs_scanned")
+    assert indexed_pairs * 10 <= brute_pairs
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+def test_run_drc_builds_once_and_scans_fewer_pairs(tech):
+    grid = LayoutObject("grid", tech)
+    for x in range(10):
+        for y in range(10):
+            grid.add_rect(
+                Rect(x * 4000, y * 4000, x * 4000 + 2000, y * 4000 + 2000, "metal1", "n")
+            )
+    indexed, indexed_stats = _counted(
+        lambda: run_drc(grid, include_latchup=False, use_index=True)
+    )
+    brute, brute_stats = _counted(
+        lambda: run_drc(grid, include_latchup=False, use_index=False)
+    )
+    assert _ids(grid, indexed) == _ids(grid, brute)
+    assert indexed_stats.counter("drc.index_builds") == 1
+    assert brute_stats.counter("drc.index_builds") == 0
+    assert indexed_stats.counter("drc.pairs_scanned") * 10 <= brute_stats.counter(
+        "drc.pairs_scanned"
+    )
+
+
+def test_candidates_counter_reports_emitted_pairs(tech):
+    obj = LayoutObject("pair", tech)
+    rule = tech.rules.space("metal1", "metal1")
+    obj.add_rect(Rect(0, 0, 2000, 2000, "metal1", "a"))
+    obj.add_rect(Rect(2000 + rule - 1, 0, 4000 + rule, 2000, "metal1", "b"))
+    violations, stats = _counted(
+        lambda: run_drc(obj, include_latchup=False, use_index=True)
+    )
+    assert [v.kind for v in violations] == ["spacing"]
+    assert stats.counter("drc.candidates") == 1

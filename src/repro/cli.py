@@ -312,7 +312,7 @@ def cmd_amplifier(args: argparse.Namespace) -> int:
 
     tech = _resolve_tech(args.tech)
     if not args.no_selfcheck:
-        _pipeline_selfcheck(tech)
+        _pipeline_selfcheck(tech, workers=args.workers)
     amp = build_amplifier(tech)
     report = measure_amplifier(amp)
     print(f"amplifier: {report.width_um:.0f} × {report.height_um:.0f} µm = "
@@ -325,13 +325,15 @@ def cmd_amplifier(args: argparse.Namespace) -> int:
     return 0
 
 
-def _pipeline_selfcheck(tech: Technology) -> None:
+def _pipeline_selfcheck(tech: Technology, workers: Optional[int] = None) -> None:
     """Exercise interpreter and order optimizer ahead of the amplifier build.
 
     The amplifier itself is assembled in Python (compactor + DRC); a traced
     run should show spans from all four instrumented layers, so build the
     library transistor from its PLDL source (interpreter → compactor) and
-    sweep a small compaction-order search (optimizer) first.
+    sweep a small compaction-order search (optimizer) first.  *workers*
+    opts the order search into the process pool — under ``--trace`` that
+    exercises cross-process snapshot merging end to end.
     """
     from .geometry import Direction
     from .library import contact_row
@@ -351,7 +353,9 @@ def _pipeline_selfcheck(tech: Technology) -> None:
         Step(contact_row(tech, "poly", w=2.0, length=12.0, net="c", name="c"),
              Direction.WEST),
     ]
-    result = TreeOrderOptimizer().optimize("order_demo", tech, steps)
+    result = TreeOrderOptimizer(workers=workers).optimize(
+        "order_demo", tech, steps
+    )
     log.info(
         "selfcheck: order search best=%s score=%.0f (%d trials)",
         list(result.best_order), result.best_score, result.evaluated,
@@ -628,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-selfcheck", action="store_true",
         help="skip the interpreter/optimizer pipeline exercise",
     )
+    amplifier.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the selfcheck order search on N worker processes"
+             " (0 = one per CPU); with --trace the worker spans are merged"
+             " into the written Chrome trace",
+    )
     amplifier.set_defaults(func=cmd_amplifier)
 
     verify = sub.add_parser(
@@ -876,10 +886,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     status = 1
+    error: Optional[str] = None
     try:
         if profiler is not None:
             profiler.start()
-        status = args.func(args)
+        try:
+            status = args.func(args)
+        except SystemExit as exc:
+            # Crashed runs stay in the ledger: keep the real exit status and
+            # the exception type, then let the exception propagate.
+            error = type(exc).__name__
+            status = exc.code if isinstance(exc.code, int) else (
+                0 if exc.code is None else 1
+            )
+            raise
+        except BaseException as exc:
+            error = type(exc).__name__
+            status = 1
+            raise
     finally:
         wall_s = time.perf_counter() - wall_start
         cpu_s = time.process_time() - cpu_start
@@ -898,7 +922,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(stats_sink.format_table(sort=outer.sort, top=outer.top))
         if record_run:
             _record_ledger_run(args, argv, status, wall_s, cpu_s,
-                               stats_sink, profiler)
+                               stats_sink, profiler, error=error)
     return status
 
 
@@ -910,8 +934,14 @@ def _record_ledger_run(
     cpu_s: float,
     stats_sink: StatsSink,
     profiler: Any,
+    error: Optional[str] = None,
 ) -> None:
-    """Append one run record; a broken ledger only warns, never fails."""
+    """Append one run record; a broken ledger only warns, never fails.
+
+    *error* is the exception type name for a run that raised (including
+    ``SystemExit`` with a non-zero code) — stored under ``extra`` so
+    crash-rate regressions are visible in ``repro perf log``.
+    """
     from .obs.ledger import (
         Ledger,
         RunRecord,
@@ -933,6 +963,7 @@ def _record_ledger_run(
         cpu_s=cpu_s,
         peak_rss_kb=peak_rss_kb(),
         metrics=metrics,
+        extra={"error": error} if error else None,
     )
     with Ledger(args.ledger) as ledger:
         ledger.try_append(record)

@@ -150,7 +150,10 @@ class Compactor:
             result.merged_rects = main.merge(obj)
             return result
 
-        travel, shrunk = self._resolve_travel(main, obj, direction, ignore_layers)
+        with get_tracer().span("compact.solve", direction=direction.name):
+            travel, shrunk = self._resolve_travel(
+                main, obj, direction, ignore_layers
+            )
         result.travel = travel
         result.shrunk_edges = shrunk
 

@@ -109,7 +109,7 @@ class FrontierIndex:
     __slots__ = (
         "owner", "_rects_ref", "_tracked", "_dirty",
         "buckets", "_members", "_empty", "nonempty", "net_buckets",
-        "rebuilds",
+        "rebuilds", "_bbox", "_bbox_valid",
     )
 
     def __init__(self, owner) -> None:
@@ -129,6 +129,12 @@ class FrontierIndex:
         #: queries filter).
         self.net_buckets: Dict[Tuple[str, str], List[Rect]] = {}
         self.rebuilds = 0
+        #: Exact bounding box [x1, y1, x2, y2] of the *non-empty* members
+        #: (unlike the grow-only bucket envelopes).  Appends and uniform
+        #: translations maintain it; coordinate changes invalidate it and
+        #: :meth:`bbox` recomputes lazily from the bucket members.
+        self._bbox: Optional[List[int]] = None
+        self._bbox_valid = True
 
     # ------------------------------------------------------------------
     # maintenance
@@ -151,6 +157,8 @@ class FrontierIndex:
         self._empty.clear()
         self.net_buckets.clear()
         self.nonempty = 0
+        self._bbox = None
+        self._bbox_valid = True
         rects = self.owner.rects
         for seq, rect in enumerate(rects):
             self._add(seq, rect)
@@ -171,6 +179,19 @@ class FrontierIndex:
         self._empty[rid] = empty
         if not empty:
             self.nonempty += 1
+            if self._bbox_valid:
+                box = self._bbox
+                if box is None:
+                    self._bbox = [rect.x1, rect.y1, rect.x2, rect.y2]
+                else:
+                    if rect.x1 < box[0]:
+                        box[0] = rect.x1
+                    if rect.y1 < box[1]:
+                        box[1] = rect.y1
+                    if rect.x2 > box[2]:
+                        box[2] = rect.x2
+                    if rect.y2 > box[3]:
+                        box[3] = rect.y2
         if rect.net is not None:
             self.net_buckets.setdefault((rect.net, rect.layer), []).append(rect)
 
@@ -198,6 +219,12 @@ class FrontierIndex:
                 box[1] += dy
                 box[2] += dx
                 box[3] += dy
+        if self._bbox_valid and self._bbox is not None:
+            box = self._bbox
+            box[0] += dx
+            box[1] += dy
+            box[2] += dx
+            box[3] += dy
 
     def note_changed_ids(self, rect_ids: Iterable[int]) -> None:
         """Coordinates of the given member rects changed (shrink/stretch/
@@ -205,6 +232,8 @@ class FrontierIndex:
         never entered the owner's rect list — are ignored."""
         if self._dirty:
             return
+        # Members may have shrunk, so the exact bbox can only be recomputed.
+        self._bbox_valid = False
         members = self._members
         empties = self._empty
         for rid in rect_ids:
@@ -229,6 +258,8 @@ class FrontierIndex:
         twin._rects_ref = clone.rects
         twin._tracked = self._tracked
         twin.nonempty = self.nonempty
+        twin._bbox = list(self._bbox) if self._bbox is not None else None
+        twin._bbox_valid = self._bbox_valid
         for layer, bucket in self.buckets.items():
             ported = LayerBucket(layer)
             ported.rects = [mapping[id(r)] for r in bucket.rects]
@@ -251,6 +282,47 @@ class FrontierIndex:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the owner holds no non-empty geometry.
+
+        Served from the exact :attr:`nonempty` count — no rect scan.
+        """
+        return self.nonempty == 0
+
+    def bbox(self) -> Optional[Rect]:
+        """Exact bounding box of the owner's non-empty rects (or None).
+
+        Equals ``bounding_box(owner.nonempty_rects)`` coordinate for
+        coordinate.  Appends and translations keep the cache exact in
+        O(1); after shrinks/stretches (:meth:`note_changed_ids`) the first
+        query recomputes it from the layer buckets.
+        """
+        if self.nonempty == 0:
+            return None
+        if not self._bbox_valid:
+            box: Optional[List[int]] = None
+            for bucket in self.buckets.values():
+                for rect in bucket.rects:
+                    if rect.is_empty:
+                        continue
+                    if box is None:
+                        box = [rect.x1, rect.y1, rect.x2, rect.y2]
+                        continue
+                    if rect.x1 < box[0]:
+                        box[0] = rect.x1
+                    if rect.y1 < box[1]:
+                        box[1] = rect.y1
+                    if rect.x2 > box[2]:
+                        box[2] = rect.x2
+                    if rect.y2 > box[3]:
+                        box[3] = rect.y2
+            self._bbox = box
+            self._bbox_valid = True
+            get_tracer().count("compact.index_bbox_rescans")
+        box = self._bbox
+        assert box is not None  # nonempty > 0 guarantees a member
+        return Rect(box[0], box[1], box[2], box[3], "bbox")
+
     def frontier_groups(
         self, direction: Direction, arrival_nets: FrozenSet[str]
     ) -> List[Tuple[str, List[Rect]]]:

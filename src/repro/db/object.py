@@ -190,7 +190,15 @@ class LayoutObject:
         return {r.layer for r in self.nonempty_rects}
 
     def bbox(self) -> Optional[Rect]:
-        """Bounding box over all non-empty rects, or None when empty."""
+        """Bounding box over all non-empty rects, or None when empty.
+
+        Served from the :class:`~repro.compact.index.FrontierIndex` cache
+        when one is attached and current (the compactor queries the bbox
+        after every step); otherwise a from-scratch scan.
+        """
+        index = self._index
+        if index is not None and index.in_sync():
+            return index.bbox()
         return bounding_box(self.nonempty_rects)
 
     @property
@@ -215,7 +223,14 @@ class LayoutObject:
         return union_area(self.nonempty_rects)
 
     def is_empty(self) -> bool:
-        """True when the object holds no non-empty geometry."""
+        """True when the object holds no non-empty geometry.
+
+        Served from the index's exact non-empty count when one is attached
+        and current; otherwise a rect scan.
+        """
+        index = self._index
+        if index is not None and index.in_sync():
+            return index.is_empty()
         return not self.nonempty_rects
 
     # ------------------------------------------------------------------

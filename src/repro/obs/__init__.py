@@ -30,6 +30,8 @@ From the command line: ``repro --trace trace.json amplifier`` and
 sink catalogue, the per-layer instrumentation map and the Perfetto how-to.
 """
 
+from .context import TraceContext, TracerSnapshot
+from .hist import LogHistogram
 from .ledger import (
     Ledger,
     RunRecord,
@@ -80,6 +82,9 @@ __all__ = [
     "JsonlSink",
     "ChromeTraceSink",
     "validate_chrome_trace",
+    "LogHistogram",
+    "TraceContext",
+    "TracerSnapshot",
     "SamplingProfiler",
     "Ledger",
     "RunRecord",

@@ -1,0 +1,274 @@
+"""Cross-process tracing: context propagation and mergeable snapshots.
+
+The tracer is process-local, so every pool fan-out (the parallel order
+optimizer today; the serving-layer worker pool and the DSE sweep harness
+next) used to be an observability hole: spans, counters and gauges
+produced inside a worker process died with it.  This module closes the
+hole with two picklable values:
+
+* :class:`TraceContext` — captured in the parent next to the work being
+  submitted (trace id, the submitting span, the parent's epoch on the
+  shared wall clock) and shipped to the worker inside its payload.  In the
+  worker, ``with context.worker() as scope:`` bootstraps a fresh enabled
+  tracer around the task — every instrumentation site in the worker works
+  unchanged — and wraps the task in an ``obs.worker`` root span parented
+  (by attribute) under the submitting span.
+
+* :class:`TracerSnapshot` — everything the worker's tracer recorded
+  (completed spans with thread ids, counter totals and call counts, gauges,
+  events, per-span-name :class:`~repro.obs.hist.LogHistogram` state),
+  returned alongside the worker's payload and folded into the parent with
+  :meth:`~repro.obs.tracer.Tracer.merge_snapshot`.  Span timestamps are
+  rebased onto the parent's epoch via the wall clock, so a merged
+  :class:`~repro.obs.sinks.ChromeTraceSink` trace shows one coherent
+  timeline with a distinct per-worker pid lane.
+
+Merging is deterministic: counters, spans and histograms fold by addition
+(order-independent); gauges are last-write-wins in the order snapshots are
+merged, and callers merge in submission order.  A disabled parent tracer
+captures no context (``TraceContext.capture`` returns ``None``) and the
+workers run exactly as before — one ``is None`` check per fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .hist import LogHistogram
+from .sinks import Sink
+from .tracer import SpanRecord, Tracer, get_tracer, set_tracer
+
+__all__ = ["TraceContext", "TracerSnapshot"]
+
+#: Span tuple layout inside a snapshot: (name, start_ns, dur_ns, depth,
+#: attrs, tid).  ``start_ns`` is already rebased onto the parent epoch.
+SpanTuple = Tuple[str, int, int, int, Dict[str, Any], int]
+
+
+class TracerSnapshot:
+    """A picklable, mergeable capture of one worker tracer's records."""
+
+    __slots__ = (
+        "trace_id", "parent_span", "pid", "offset_ns", "duration_ns",
+        "spans", "counters", "counter_calls", "gauges", "events",
+        "histograms",
+    )
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+        pid: Optional[int] = None,
+        offset_ns: int = 0,
+        duration_ns: int = 0,
+        spans: Optional[List[SpanTuple]] = None,
+        counters: Optional[Dict[str, int]] = None,
+        counter_calls: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        events: Optional[List[Tuple[str, int, Dict[str, Any]]]] = None,
+        histograms: Optional[Dict[str, Dict[int, int]]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_span = parent_span
+        self.pid = pid if pid is not None else os.getpid()
+        #: Worker epoch relative to the parent epoch (wall-clock aligned).
+        self.offset_ns = offset_ns
+        self.duration_ns = duration_ns
+        self.spans: List[SpanTuple] = spans if spans is not None else []
+        self.counters: Dict[str, int] = counters if counters is not None else {}
+        self.counter_calls: Dict[str, int] = (
+            counter_calls if counter_calls is not None else {}
+        )
+        self.gauges: Dict[str, float] = gauges if gauges is not None else {}
+        #: Instants as (name, rebased ts_ns, attrs), in emission order.
+        self.events: List[Tuple[str, int, Dict[str, Any]]] = (
+            events if events is not None else []
+        )
+        #: Per-span-name fixed log-bucket state (sparse bucket -> count).
+        self.histograms: Dict[str, Dict[int, int]] = (
+            histograms if histograms is not None else {}
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def end_ns(self) -> int:
+        """Parent-epoch timestamp at which the worker tracer closed."""
+        return self.offset_ns + self.duration_ns
+
+    def span_records(self) -> List[SpanRecord]:
+        """The completed spans as :class:`SpanRecord` objects."""
+        return [
+            SpanRecord(name, start_ns, dur_ns, depth, dict(attrs))
+            for name, start_ns, dur_ns, depth, attrs, _tid in self.spans
+        ]
+
+    @staticmethod
+    def fold(snapshots: "List[TracerSnapshot]") -> Dict[str, int]:
+        """Sum the counters of several snapshots (the merge arithmetic the
+        parent performs — tests pin parent totals against this fold)."""
+        totals: Dict[str, int] = {}
+        for snapshot in snapshots:
+            for name, value in snapshot.counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TracerSnapshot(pid={self.pid}, spans={len(self.spans)},"
+            f" counters={len(self.counters)})"
+        )
+
+
+class _SnapshotSink(Sink):
+    """Worker-side sink collecting everything for the snapshot."""
+
+    def __init__(self) -> None:
+        self.spans: List[Tuple[str, int, int, int, Dict[str, Any], int]] = []
+        self.counters: Dict[str, int] = {}
+        self.counter_calls: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.events: List[Tuple[str, int, Dict[str, Any]]] = []
+        self._lock = threading.Lock()
+
+    def on_span(self, record: SpanRecord) -> None:
+        entry = (
+            record.name, record.start_ns, record.duration_ns, record.depth,
+            record.attrs, threading.get_ident(),
+        )
+        with self._lock:
+            self.spans.append(entry)
+
+    def on_count(self, name: str, n: int, ts_ns: int) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+            self.counter_calls[name] = self.counter_calls.get(name, 0) + 1
+
+    def on_gauge(self, name: str, value: float, ts_ns: int) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def on_event(self, name: str, ts_ns: int, attrs: Dict[str, Any]) -> None:
+        with self._lock:
+            self.events.append((name, ts_ns, attrs))
+
+
+class _WorkerScope:
+    """``with context.worker() as scope:`` — a bootstrapped worker tracer.
+
+    Entering installs a fresh enabled tracer as the process tracer (the
+    forked child may have inherited the parent's live tracer object — its
+    sinks are unreachable from here, so it is always replaced) and opens
+    the ``obs.worker`` root span.  Exiting restores the previous tracer;
+    :meth:`snapshot` then packages what was recorded.
+    """
+
+    def __init__(self, context: "TraceContext") -> None:
+        self.context = context
+        self.tracer = Tracer(enabled=True)
+        self._collector = _SnapshotSink()
+        self.tracer.add_sink(self._collector)
+        self._previous: Optional[Tracer] = None
+        self._root = None
+        self._offset_ns = 0
+        self._duration_ns = 0
+
+    def __enter__(self) -> "_WorkerScope":
+        # Wall-clock alignment: both processes share one wall clock, so the
+        # worker epoch expressed on the parent epoch is the wall time now
+        # minus how long this tracer has already been running.
+        self._offset_ns = max(
+            0, (time.time_ns() - self.tracer._now_ns()) - self.context.epoch_wall_ns
+        )
+        self._previous = set_tracer(self.tracer)
+        self._root = self.tracer.span(
+            "obs.worker",
+            parent=self.context.parent_span,
+            trace=self.context.trace_id,
+            pid=os.getpid(),
+        )
+        self._root.__enter__()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self._root.__exit__(exc_type, exc, tb)
+        self._duration_ns = self.tracer._now_ns()
+        assert self._previous is not None
+        set_tracer(self._previous)
+        return False
+
+    def snapshot(self) -> TracerSnapshot:
+        """Package the records (call after the ``with`` block exits)."""
+        collector = self._collector
+        offset = self._offset_ns
+        spans: List[SpanTuple] = [
+            (name, start_ns + offset, dur_ns, depth, attrs, tid)
+            for name, start_ns, dur_ns, depth, attrs, tid in collector.spans
+        ]
+        histograms: Dict[str, Dict[int, int]] = {}
+        for name, _start, dur_ns, _depth, _attrs, _tid in spans:
+            hist = histograms.get(name)
+            if hist is None:
+                hist = histograms[name] = {}
+            index = LogHistogram.bucket_index(dur_ns)
+            hist[index] = hist.get(index, 0) + 1
+        return TracerSnapshot(
+            trace_id=self.context.trace_id,
+            parent_span=self.context.parent_span,
+            pid=os.getpid(),
+            offset_ns=offset,
+            duration_ns=self._duration_ns,
+            spans=spans,
+            counters=dict(collector.counters),
+            counter_calls=dict(collector.counter_calls),
+            gauges=dict(collector.gauges),
+            events=[
+                (name, ts_ns + offset, attrs)
+                for name, ts_ns, attrs in collector.events
+            ],
+            histograms=histograms,
+        )
+
+
+class TraceContext:
+    """The picklable tracing state a pool worker needs to continue a trace."""
+
+    __slots__ = ("trace_id", "parent_span", "epoch_wall_ns")
+
+    def __init__(
+        self,
+        trace_id: Optional[str],
+        parent_span: Optional[str],
+        epoch_wall_ns: int,
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_span = parent_span
+        #: Wall-clock time (``time.time_ns()``) of the parent tracer's epoch
+        #: — the anchor worker timestamps are rebased against.
+        self.epoch_wall_ns = epoch_wall_ns
+
+    @classmethod
+    def capture(cls, tracer: Optional[Tracer] = None) -> Optional["TraceContext"]:
+        """The current tracing context, or ``None`` when tracing is off.
+
+        This is the whole cost an untraced fan-out pays: one ``enabled``
+        check (priced by ``benchmarks/bench_obs_overhead.py``).
+        """
+        if tracer is None:
+            tracer = get_tracer()
+        if not tracer.enabled:
+            return None
+        return cls(
+            trace_id=tracer.trace_id,
+            parent_span=tracer.current_span_name(),
+            epoch_wall_ns=time.time_ns() - tracer._now_ns(),
+        )
+
+    def worker(self) -> _WorkerScope:
+        """A context manager bootstrapping the worker-side tracer."""
+        return _WorkerScope(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id}, parent={self.parent_span!r})"

@@ -142,7 +142,10 @@ def snapshot_metrics(stats: Any) -> Dict[str, float]:
     """Flatten a :class:`~repro.obs.sinks.StatsSink` into ledger metrics.
 
     Counters and gauges keep their dotted names; spans contribute
-    ``span.<name>.total_s`` and ``span.<name>.calls``.
+    ``span.<name>.total_s`` and ``span.<name>.calls`` plus histogram
+    percentiles ``span.<name>.p50_s`` / ``.p90_s`` / ``.p99_s`` (the
+    ``_s`` suffix keeps them in the perf-check noise classification with
+    the other timing metrics).
     """
     metrics: Dict[str, float] = {}
     for name, value in stats.counters.items():
@@ -152,6 +155,10 @@ def snapshot_metrics(stats: Any) -> Dict[str, float]:
     for name, span in stats.spans.items():
         metrics[f"span.{name}.total_s"] = span.total_ns / 1e9
         metrics[f"span.{name}.calls"] = float(span.calls)
+        p50, p90, p99 = span.hist.percentiles((50, 90, 99))
+        metrics[f"span.{name}.p50_s"] = p50 / 1e9
+        metrics[f"span.{name}.p90_s"] = p90 / 1e9
+        metrics[f"span.{name}.p99_s"] = p99 / 1e9
     return metrics
 
 

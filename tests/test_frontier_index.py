@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.compact import Compactor, frontier_filter
 from repro.db import LayoutObject
-from repro.geometry import Direction, Rect
+from repro.geometry import Direction, Rect, bounding_box
 from repro.tech import generic_bicmos_1u
 
 TECH = generic_bicmos_1u()
@@ -102,6 +102,20 @@ def _check_equals_scratch(obj, index):
     index.sync()
     fresh = obj.nonempty_rects
     assert index.nonempty == len(fresh)
+
+    # Emptiness and the exact bbox are served from the index (both through
+    # the index API and through the LayoutObject methods that prefer it).
+    assert index.is_empty() == (not fresh)
+    assert obj.is_empty() == (not fresh)
+    expected_box = bounding_box(fresh)
+    for served in (index.bbox(), obj.bbox()):
+        if expected_box is None:
+            assert served is None
+        else:
+            assert served is not None
+            assert (served.x1, served.y1, served.x2, served.y2, served.layer) \
+                == (expected_box.x1, expected_box.y1, expected_box.x2,
+                    expected_box.y2, expected_box.layer)
 
     for direction in Direction:
         for nets in (frozenset(), frozenset({"a"}), frozenset({"a", "b"})):
